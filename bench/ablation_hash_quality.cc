@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Section III-B / V ablation: signature-function quality. The paper
+ * states CRC32 outperforms XOR-based schemes and that no CRC32
+ * collision was ever observed. This bench measures, per hash kind:
+ *
+ *  - false positives on the workload suite (tiles wrongly skipped);
+ *  - collisions on an adversarial stress: block permutations and
+ *    duplicate-block streams, which defeat order/count-insensitive
+ *    folds by construction.
+ */
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "crc/hashes.hh"
+#include "sim/experiment.hh"
+
+using namespace regpu;
+
+namespace
+{
+
+/** Tile-signature of a block sequence under a hash kind, mimicking
+ *  the Signature Unit's fold order. */
+u32
+streamSignature(HashKind kind, const std::vector<std::vector<u8>> &blocks)
+{
+    u32 running = 0;
+    for (const auto &blk : blocks) {
+        u32 sig = hashBlock(kind, blk);
+        running = hashCombine(kind, running, sig,
+                              static_cast<u32>((blk.size() + 7) / 8));
+    }
+    return running;
+}
+
+/** Count collisions among structurally-different streams. */
+u64
+adversarialCollisions(HashKind kind, u64 trials)
+{
+    Rng rng(99);
+    u64 collisions = 0;
+    for (u64 t = 0; t < trials; t++) {
+        // Build two distinct blocks.
+        std::vector<u8> a(16), b(16);
+        for (auto &byte : a)
+            byte = static_cast<u8>(rng.nextBounded(256));
+        do {
+            for (auto &byte : b)
+                byte = static_cast<u8>(rng.nextBounded(256));
+        } while (b == a);
+
+        // Case 1: order swap (A,B) vs (B,A).
+        if (streamSignature(kind, {a, b}) == streamSignature(kind, {b, a}))
+            collisions++;
+        // Case 2: duplicate pair (A,A,B) vs (B) - XOR self-cancels.
+        if (streamSignature(kind, {a, a, b}) == streamSignature(kind, {b}))
+            collisions++;
+        // Case 3: single-bit complement pair inside one stream.
+        auto a2 = a;
+        a2[3] ^= 0x40;
+        if (streamSignature(kind, {a, a2}) == streamSignature(kind, {a2, a}))
+            collisions++;
+    }
+    return collisions;
+}
+
+/** False positives across a subset of the suite under a hash kind. */
+u64
+suiteFalsePositives(HashKind kind, const ExperimentScale &scale)
+{
+    u64 total = 0;
+    for (const std::string &alias : allAliases()) {
+        GpuConfig config;
+        config.scaleResolution(scale.screenWidth, scale.screenHeight);
+        config.technique = Technique::RenderingElimination;
+        auto scene = makeBenchmark(alias, config);
+        SimOptions opts;
+        opts.frames = scale.frames;
+        opts.hashKind = kind;
+        Simulator sim(*scene, config, opts);
+        total += sim.run().reFalsePositives;
+    }
+    return total;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setInformEnabled(false);
+    ExperimentScale scale = ExperimentScale::fromArgs(argc, argv);
+    // Hash ablation does not need the full resolution.
+    if (scale.screenWidth > 400) {
+        scale.screenWidth = 400;
+        scale.screenHeight = 256;
+    }
+
+    const u64 trials = 20000;
+    std::printf("== Hash-quality ablation (Section V claim: CRC32 over"
+                " XOR schemes) ==\n");
+    std::printf("%-8s %22s %20s\n", "hash",
+                "adversarialCollisions", "suiteFalsePositives");
+    for (HashKind kind : {HashKind::Crc32, HashKind::Fnv1a,
+                          HashKind::XorFold, HashKind::AddFold}) {
+        u64 adv = adversarialCollisions(kind, trials);
+        u64 fp = suiteFalsePositives(kind, scale);
+        std::printf("%-8s %22llu %20llu\n", hashKindName(kind),
+                    static_cast<unsigned long long>(adv),
+                    static_cast<unsigned long long>(fp));
+    }
+    std::printf("\n(adversarial trials: %llu x3 structural cases; paper"
+                " observed zero CRC32 collisions)\n",
+                static_cast<unsigned long long>(trials));
+    return 0;
+}

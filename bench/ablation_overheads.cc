@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Section V overhead accounting for Rendering Elimination:
+ *  - geometry-stall cycles from OT-queue overflow (paper: 0.64% avg);
+ *  - RE hardware energy overhead (paper: <0.5% of GPU energy);
+ *  - area overhead of the added structures (paper: <1%);
+ *  - worst-case check on the redundancy-free workload (mst: <1% slowdown).
+ */
+
+#include <cstdio>
+
+#include "power/energy_model.hh"
+#include "sim/experiment.hh"
+
+using namespace regpu;
+
+int
+main(int argc, char **argv)
+{
+    setInformEnabled(false);
+    ExperimentScale scale = ExperimentScale::fromArgs(argc, argv);
+
+    auto results = runSuite(allAliases(),
+                            {Technique::Baseline,
+                             Technique::RenderingElimination},
+                            scale);
+
+    printTableHeader("RE overheads per workload",
+                     {"geomStall%", "reEnergy%", "mstSlowdown%"});
+    std::vector<double> stallPct, energyPct;
+    double mstSlowdown = 0;
+    for (const WorkloadResults &wr : results) {
+        const SimResult &base = wr.byTechnique.at(Technique::Baseline);
+        const SimResult &re =
+            wr.byTechnique.at(Technique::RenderingElimination);
+
+        double stall = 100.0 * re.signatureStallCycles
+            / std::max<Cycles>(1, re.geometryCycles);
+
+        // RE hardware energy: LUTs + Signature Buffer + OT + bitmap.
+        EnergyParams p;
+        double reHw = re.stats.counter("re.lutAccesses") * p.crcLutAccess
+            + re.stats.counter("re.sigBufferAccesses")
+              * p.signatureBufferAccess
+            + re.stats.counter("re.otPushes") * p.otQueuePush
+            + re.stats.counter("re.bitmapAccesses") * p.bitmapAccess;
+        double ePct = 100.0 * reHw / base.energy.total();
+
+        double slow = 0;
+        if (wr.alias == "mst") {
+            slow = 100.0 * (static_cast<double>(re.totalCycles())
+                            / base.totalCycles() - 1.0);
+            mstSlowdown = slow;
+        }
+        printTableRow(wr.alias, {stall, ePct, slow});
+        stallPct.push_back(stall);
+        energyPct.push_back(ePct);
+    }
+    printTableRow("AVG", {mean(stallPct), mean(energyPct), 0.0});
+
+    GpuConfig fullConfig; // area is quoted for the Table I chip
+    AreaReport area = AreaReport::forConfig(fullConfig);
+    std::printf("\nArea: RE adds %.1f KB SRAM (LUTs %.0f KB + SigBuf "
+                "%.1f KB + OT/bitmap %.2f KB) = %.2f%% of the baseline "
+                "SRAM proxy (paper: <1%%)\n",
+                (area.crcLutBytes + area.signatureBufferBytes
+                 + area.otQueueBytes + area.bitmapBytes) / 1024.0,
+                area.crcLutBytes / 1024.0,
+                area.signatureBufferBytes / 1024.0,
+                (area.otQueueBytes + area.bitmapBytes) / 1024.0,
+                100.0 * area.overheadFraction());
+    std::printf("mst slowdown: %.2f%% (paper: <1%%)\n", mstSlowdown);
+    return 0;
+}

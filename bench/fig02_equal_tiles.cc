@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces Fig. 2: percentage of tiles producing the same color as
+ * the preceding frame, per benchmark, plus the Table II suite listing.
+ *
+ * Paper shape: >90% for the static-camera games (ccs..hop), near zero
+ * for mst, intermediate for abi..tib.
+ */
+
+#include <cstdio>
+
+#include "sim/experiment.hh"
+
+using namespace regpu;
+
+int
+main(int argc, char **argv)
+{
+    setInformEnabled(false);
+    ExperimentScale scale = ExperimentScale::fromArgs(argc, argv);
+
+    std::printf("Table II: benchmark suite\n");
+    std::printf("%-6s %-28s %-16s %s\n", "alias", "scenario", "genre",
+                "type");
+    for (const BenchmarkInfo &b : benchmarkSuite())
+        std::printf("%-6s %-28s %-16s %s\n", b.alias.c_str(),
+                    b.title.c_str(), b.genre.c_str(),
+                    b.is3D ? "3D" : "2D");
+
+    auto results = runSuite(allAliases(), {Technique::Baseline}, scale);
+
+    printTableHeader("Fig. 2: equal tiles between consecutive frames (%)",
+                     {"equalTiles%"});
+    std::vector<double> all;
+    for (const WorkloadResults &wr : results) {
+        double pct = wr.byTechnique.at(Technique::Baseline)
+            .equalTilesConsecutivePct;
+        printTableRow(wr.alias, {pct}, 1);
+        all.push_back(pct);
+    }
+    printTableRow("AVG", {mean(all)}, 1);
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reproduces Fig. 14: (a) execution cycles of RE normalized to the
+ * baseline, split into Geometry and Raster pipeline cycles, and
+ * (b) energy normalized to the baseline, split into GPU and main
+ * memory.
+ *
+ * Paper shape: average ~0.58 normalized cycles (1.74x speedup) and
+ * ~0.57 normalized energy; huge wins on ccs..hop, ~1.0 on mst.
+ */
+
+#include <cstdio>
+
+#include "sim/experiment.hh"
+
+using namespace regpu;
+
+int
+main(int argc, char **argv)
+{
+    setInformEnabled(false);
+    ExperimentScale scale = ExperimentScale::fromArgs(argc, argv);
+
+    auto results = runSuite(allAliases(),
+                            {Technique::Baseline,
+                             Technique::RenderingElimination},
+                            scale);
+
+    printTableHeader("Fig. 14a: normalized execution cycles (RE / Base)",
+                     {"geomNorm", "rasterNorm", "totalNorm", "speedup"});
+    std::vector<double> speedups, totals;
+    for (const WorkloadResults &wr : results) {
+        const SimResult &base = wr.byTechnique.at(Technique::Baseline);
+        const SimResult &re =
+            wr.byTechnique.at(Technique::RenderingElimination);
+        double baseTotal = static_cast<double>(base.totalCycles());
+        double geomN = re.geometryCycles / baseTotal;
+        double rastN = re.rasterCycles / baseTotal;
+        double totalN = re.totalCycles() / baseTotal;
+        printTableRow(wr.alias,
+                      {geomN, rastN, totalN, 1.0 / totalN});
+        speedups.push_back(1.0 / totalN);
+        totals.push_back(totalN);
+    }
+    printTableRow("AVG", {0, 0, mean(totals), geomean(speedups)});
+
+    printTableHeader("Fig. 14b: normalized energy (RE / Base)",
+                     {"gpuNorm", "memNorm", "totalNorm", "saving%"});
+    std::vector<double> savings;
+    for (const WorkloadResults &wr : results) {
+        const SimResult &base = wr.byTechnique.at(Technique::Baseline);
+        const SimResult &re =
+            wr.byTechnique.at(Technique::RenderingElimination);
+        double baseTotal = base.energy.total();
+        double gpuN = re.energy.gpu() / baseTotal;
+        double memN = re.energy.memory() / baseTotal;
+        double totalN = re.energy.total() / baseTotal;
+        printTableRow(wr.alias,
+                      {gpuN, memN, totalN, 100.0 * (1.0 - totalN)});
+        savings.push_back(100.0 * (1.0 - totalN));
+    }
+    printTableRow("AVG", {0, 0, 0, mean(savings)});
+
+    // GPU-only and memory-only savings (paper: 38% / 48%).
+    std::vector<double> gpuSave, memSave;
+    for (const WorkloadResults &wr : results) {
+        const SimResult &base = wr.byTechnique.at(Technique::Baseline);
+        const SimResult &re =
+            wr.byTechnique.at(Technique::RenderingElimination);
+        gpuSave.push_back(100.0 * (1.0 - re.energy.gpu()
+                                   / base.energy.gpu()));
+        memSave.push_back(100.0 * (1.0 - re.energy.memory()
+                                   / base.energy.memory()));
+    }
+    std::printf("\nGPU energy saving AVG: %.1f%%   "
+                "Main-memory energy saving AVG: %.1f%%\n",
+                mean(gpuSave), mean(memSave));
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Host-side microbenchmarks (google-benchmark) of the signature
+ * datapath models: Sign/Shift subunits, Compute and Accumulate CRC
+ * units, full-message tabular CRC, and the weak-hash alternatives.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "crc/hashes.hh"
+#include "crc/units.hh"
+
+using namespace regpu;
+
+namespace
+{
+
+std::vector<u8>
+randomBytes(std::size_t n)
+{
+    Rng rng(n * 7919 + 1);
+    std::vector<u8> v(n);
+    for (auto &b : v)
+        b = static_cast<u8>(rng.nextBounded(256));
+    return v;
+}
+
+} // namespace
+
+static void
+BM_SignSubunit64(benchmark::State &state)
+{
+    const CrcTables &t = CrcTables::instance();
+    u64 block = 0x0123456789abcdefull;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(t.signBlock64(block));
+        block += 0x9e3779b97f4a7c15ull;
+    }
+}
+BENCHMARK(BM_SignSubunit64);
+
+static void
+BM_ShiftSubunit(benchmark::State &state)
+{
+    const CrcTables &t = CrcTables::instance();
+    u32 crc = 0xdeadbeef;
+    for (auto _ : state) {
+        crc = t.shift64(crc);
+        benchmark::DoNotOptimize(crc);
+    }
+}
+BENCHMARK(BM_ShiftSubunit);
+
+static void
+BM_ComputeCrcUnit(benchmark::State &state)
+{
+    auto msg = randomBytes(static_cast<std::size_t>(state.range(0)));
+    ComputeCrcUnit unit;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(unit.sign(msg).crc);
+    state.SetBytesProcessed(
+        static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_ComputeCrcUnit)->Arg(64)->Arg(144)->Arg(1024);
+
+static void
+BM_AccumulateCrcUnit(benchmark::State &state)
+{
+    AccumulateCrcUnit unit;
+    u32 crc = 0x12345678;
+    for (auto _ : state) {
+        crc = unit.accumulate(crc, static_cast<u32>(state.range(0)));
+        benchmark::DoNotOptimize(crc);
+    }
+}
+BENCHMARK(BM_AccumulateCrcUnit)->Arg(8)->Arg(18);
+
+static void
+BM_Crc32Reference(benchmark::State &state)
+{
+    auto msg = randomBytes(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(crc32Reference(msg));
+    state.SetBytesProcessed(
+        static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32Reference)->Arg(144);
+
+static void
+BM_HashBlock(benchmark::State &state)
+{
+    auto msg = randomBytes(144);
+    HashKind kind = static_cast<HashKind>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hashBlock(kind, msg));
+    state.SetLabel(hashKindName(kind));
+    state.SetBytesProcessed(
+        static_cast<i64>(state.iterations()) * 144);
+}
+BENCHMARK(BM_HashBlock)
+    ->Arg(static_cast<int>(HashKind::Crc32))
+    ->Arg(static_cast<int>(HashKind::XorFold))
+    ->Arg(static_cast<int>(HashKind::AddFold))
+    ->Arg(static_cast<int>(HashKind::Fnv1a));
+
+BENCHMARK_MAIN();

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * suite_cli: run any workload under any set of techniques from the
+ * command line and emit a detailed report and/or CSV.
+ *
+ * Usage:
+ *   suite_cli [--workload ALIAS|all] [--tech base,re,te,memo]
+ *             [--frames N] [--width W --height H]
+ *             [--hash crc32|xor|add|fnv] [--csv FILE] [--quiet]
+ *
+ * Examples:
+ *   suite_cli --workload ccs --tech base,re
+ *   suite_cli --workload all --tech base,re,te,memo --csv out.csv
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace regpu;
+
+namespace
+{
+
+struct CliOptions
+{
+    std::vector<std::string> workloads{"ccs"};
+    std::vector<Technique> techniques{Technique::Baseline,
+                                      Technique::RenderingElimination};
+    u64 frames = 20;
+    u32 width = 598, height = 384;
+    HashKind hash = HashKind::Crc32;
+    std::string csvPath;
+    bool quiet = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: suite_cli [--workload ALIAS|all] "
+                 "[--tech base,re,te,memo] [--frames N]\n"
+                 "                 [--width W --height H] "
+                 "[--hash crc32|xor|add|fnv] [--csv FILE] [--quiet]\n");
+    std::exit(2);
+}
+
+Technique
+parseTechnique(const std::string &name)
+{
+    if (name == "base" || name == "baseline")
+        return Technique::Baseline;
+    if (name == "re")
+        return Technique::RenderingElimination;
+    if (name == "te")
+        return Technique::TransactionElimination;
+    if (name == "memo")
+        return Technique::FragmentMemoization;
+    fatal("unknown technique: ", name);
+}
+
+HashKind
+parseHash(const std::string &name)
+{
+    if (name == "crc32")
+        return HashKind::Crc32;
+    if (name == "xor")
+        return HashKind::XorFold;
+    if (name == "add")
+        return HashKind::AddFold;
+    if (name == "fnv")
+        return HashKind::Fnv1a;
+    fatal("unknown hash kind: ", name);
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions opts;
+    auto next = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg == "--workload") {
+            std::string w = next(i);
+            if (w == "all") {
+                opts.workloads.clear();
+                for (const auto &b : benchmarkSuite())
+                    opts.workloads.push_back(b.alias);
+            } else {
+                opts.workloads = {w};
+            }
+        } else if (arg == "--tech") {
+            opts.techniques.clear();
+            std::stringstream ss(next(i));
+            std::string item;
+            while (std::getline(ss, item, ','))
+                opts.techniques.push_back(parseTechnique(item));
+        } else if (arg == "--frames") {
+            opts.frames = std::strtoull(next(i), nullptr, 10);
+        } else if (arg == "--width") {
+            opts.width = static_cast<u32>(
+                std::strtoul(next(i), nullptr, 10));
+        } else if (arg == "--height") {
+            opts.height = static_cast<u32>(
+                std::strtoul(next(i), nullptr, 10));
+        } else if (arg == "--hash") {
+            opts.hash = parseHash(next(i));
+        } else if (arg == "--csv") {
+            opts.csvPath = next(i);
+        } else if (arg == "--quiet") {
+            opts.quiet = true;
+        } else {
+            usage();
+        }
+    }
+    return opts;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setInformEnabled(false);
+    CliOptions opts = parseArgs(argc, argv);
+
+    std::ofstream csv;
+    bool csvHeader = true;
+    if (!opts.csvPath.empty()) {
+        csv.open(opts.csvPath);
+        if (!csv)
+            fatal("cannot open csv file: ", opts.csvPath);
+    }
+
+    for (const std::string &alias : opts.workloads) {
+        std::vector<SimResult> results;
+        for (Technique tech : opts.techniques) {
+            GpuConfig config;
+            config.scaleResolution(opts.width, opts.height);
+            config.technique = tech;
+            auto scene = makeBenchmark(alias, config);
+            SimOptions simOpts;
+            simOpts.frames = opts.frames;
+            simOpts.hashKind = opts.hash;
+            Simulator sim(*scene, config, simOpts);
+            SimResult r = sim.run();
+            if (!opts.quiet) {
+                printRunSummary(std::cout, r, config);
+                std::cout << "\n";
+            }
+            if (csv.is_open()) {
+                writeCsvRow(csv, r, csvHeader);
+                csvHeader = false;
+            }
+            results.push_back(std::move(r));
+        }
+        if (!opts.quiet && results.size() > 1) {
+            printComparison(std::cout, results);
+            std::cout << "\n";
+        }
+    }
+    if (csv.is_open())
+        std::cout << "wrote " << opts.csvPath << "\n";
+    return 0;
+}

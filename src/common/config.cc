@@ -1,0 +1,45 @@
+#include "common/config.hh"
+
+namespace regpu
+{
+
+const char *
+techniqueName(Technique t)
+{
+    switch (t) {
+      case Technique::Baseline:
+        return "Baseline";
+      case Technique::RenderingElimination:
+        return "RE";
+      case Technique::TransactionElimination:
+        return "TE";
+      case Technique::FragmentMemoization:
+        return "Memo";
+    }
+    return "?";
+}
+
+void
+GpuConfig::print(std::ostream &os) const
+{
+    os << "GPU configuration (Table I)\n"
+       << "  clock           : " << frequencyHz / 1e6 << " MHz, "
+       << voltage << " V, " << technologyNm << " nm\n"
+       << "  screen          : " << screenWidth << "x" << screenHeight
+       << " (" << tilesX() << "x" << tilesY() << " tiles of "
+       << tileWidth << "x" << tileHeight << ")\n"
+       << "  dram            : " << dramMinLatency << "-" << dramMaxLatency
+       << " cycles, " << dramBytesPerCycle << " B/cycle\n"
+       << "  vertex cache    : " << vertexCache.sizeBytes / KiB << " KB\n"
+       << "  texture caches  : " << numTextureCaches << " x "
+       << textureCache.sizeBytes / KiB << " KB\n"
+       << "  tile cache      : " << tileCache.sizeBytes / KiB << " KB\n"
+       << "  L2 cache        : " << l2Cache.sizeBytes / KiB << " KB\n"
+       << "  processors      : " << numVertexProcessors << " vertex, "
+       << numFragmentProcessors << " fragment\n"
+       << "  technique       : " << techniqueName(technique) << "\n"
+       << "  signature buffer: " << signatureBufferBytes() / 1024.0
+       << " KB\n";
+}
+
+} // namespace regpu

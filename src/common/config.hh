@@ -1,0 +1,146 @@
+/**
+ * @file
+ * GPU configuration mirroring Table I of the paper (ARM Mali-450-like
+ * baseline) plus switches for the redundancy-elimination techniques.
+ */
+
+#ifndef REGPU_COMMON_CONFIG_HH
+#define REGPU_COMMON_CONFIG_HH
+
+#include <ostream>
+#include <string>
+
+#include "common/types.hh"
+
+namespace regpu
+{
+
+/** Geometry of one cache (see Table I). */
+struct CacheParams
+{
+    std::string name;
+    u32 lineBytes = 64;
+    u32 ways = 2;
+    u32 sizeBytes = 4 * KiB;
+    u32 banks = 1;
+    Cycles hitLatency = 1;
+};
+
+/** Which redundancy-elimination technique drives a simulation. */
+enum class Technique
+{
+    Baseline,              //!< plain TBR pipeline
+    RenderingElimination,  //!< this paper: tile-input signatures
+    TransactionElimination,//!< ARM TE: color signatures at flush
+    FragmentMemoization,   //!< ISCA'14 PFR + fragment memoization
+};
+
+/** Printable name of a technique. */
+const char *techniqueName(Technique t);
+
+/**
+ * Full simulation configuration. Defaults reproduce Table I.
+ */
+struct GpuConfig
+{
+    // --- Tech specs -----------------------------------------------------
+    u64 frequencyHz = 400'000'000;  //!< 400 MHz
+    double voltage = 1.0;           //!< 1 V
+    u32 technologyNm = 32;          //!< 32 nm
+
+    // --- Screen ---------------------------------------------------------
+    u32 screenWidth = 1196;
+    u32 screenHeight = 768;
+    u32 tileWidth = 16;
+    u32 tileHeight = 16;
+
+    // --- Main memory ----------------------------------------------------
+    Cycles dramMinLatency = 50;
+    Cycles dramMaxLatency = 100;
+    u32 dramBytesPerCycle = 4;      //!< dual-channel LPDDR3
+    u64 dramSizeBytes = 1 * MiB * 1024; //!< 1 GB
+
+    // --- Queues (entries) -------------------------------------------------
+    u32 vertexQueueEntries = 16;    //!< x2, 136 B/entry
+    u32 triangleQueueEntries = 16;  //!< 388 B/entry
+    u32 tileQueueEntries = 16;      //!< 388 B/entry
+    u32 fragmentQueueEntries = 64;  //!< 233 B/entry
+
+    // --- Caches -----------------------------------------------------------
+    CacheParams vertexCache{"vertexCache", 64, 2, 4 * KiB, 1, 1};
+    CacheParams textureCache{"textureCache", 64, 2, 8 * KiB, 1, 1};
+    u32 numTextureCaches = 4;
+    CacheParams tileCache{"tileCache", 64, 8, 128 * KiB, 8, 1};
+    CacheParams l2Cache{"l2Cache", 64, 8, 256 * KiB, 8, 2};
+    CacheParams colorBuffer{"colorBuffer", 64, 1, 1 * KiB, 1, 1};
+    CacheParams depthBuffer{"depthBuffer", 64, 1, 1 * KiB, 1, 1};
+
+    // --- Non-programmable stage throughputs -------------------------------
+    u32 trianglesPerCycle = 1;      //!< primitive assembly
+    u32 rasterAttrsPerCycle = 16;   //!< rasterizer
+    u32 earlyZInFlightQuads = 32;
+
+    // --- Programmable stages ----------------------------------------------
+    u32 numVertexProcessors = 1;
+    u32 numFragmentProcessors = 4;
+
+    // --- Technique under evaluation ---------------------------------------
+    Technique technique = Technique::Baseline;
+
+    /**
+     * Double buffering (paper §IV-C): when true the comparison frame is
+     * the one occupying the Back Buffer (N vs N-2); when false, N vs N-1.
+     */
+    bool doubleBuffered = true;
+
+    // --- Rendering Elimination parameters ---------------------------------
+    u32 otQueueEntries = 16;        //!< Overlapped Tiles Queue depth
+    u32 crcSubblockBytes = 8;       //!< Compute CRC unit sub-block size
+    /** Periodically force-render every tile to refresh the Frame Buffer
+     *  (0 disables the refresh). */
+    u32 refreshPeriodFrames = 0;
+
+    // --- Fragment Memoization parameters (paper §V-A) ---------------------
+    u32 memoLutEntries = 2048;
+    u32 memoLutWays = 4;
+
+    // --- Derived helpers ---------------------------------------------------
+    u32
+    tilesX() const
+    {
+        return (screenWidth + tileWidth - 1) / tileWidth;
+    }
+
+    u32
+    tilesY() const
+    {
+        return (screenHeight + tileHeight - 1) / tileHeight;
+    }
+
+    u32 numTiles() const { return tilesX() * tilesY(); }
+
+    /** Tile id covering pixel (x, y). */
+    TileId
+    tileAt(u32 x, u32 y) const
+    {
+        return (y / tileHeight) * tilesX() + (x / tileWidth);
+    }
+
+    /** Signature Buffer footprint: 2 frames x numTiles x 4 B. */
+    u64 signatureBufferBytes() const { return 2ull * numTiles() * 4; }
+
+    /** Scale screen (and thus tile grid) keeping everything else. */
+    void
+    scaleResolution(u32 w, u32 h)
+    {
+        screenWidth = w;
+        screenHeight = h;
+    }
+
+    /** Print a Table I-style summary. */
+    void print(std::ostream &os) const;
+};
+
+} // namespace regpu
+
+#endif // REGPU_COMMON_CONFIG_HH

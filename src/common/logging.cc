@@ -1,0 +1,32 @@
+#include "common/logging.hh"
+
+#include <atomic>
+
+namespace regpu
+{
+
+namespace
+{
+std::atomic<bool> informEnabled{true};
+} // namespace
+
+void
+setInformEnabled(bool enabled)
+{
+    informEnabled.store(enabled);
+}
+
+namespace log_detail
+{
+
+void
+emit(const char *level, const std::string &msg)
+{
+    if (std::string(level) == "info" && !informEnabled.load())
+        return;
+    std::fprintf(stderr, "[%s] %s\n", level, msg.c_str());
+}
+
+} // namespace log_detail
+
+} // namespace regpu

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * gem5-style status/error reporting: panic(), fatal(), warn(), inform().
+ *
+ * panic() flags a simulator bug (aborts); fatal() flags a user error
+ * (clean exit); warn()/inform() report conditions without stopping.
+ */
+
+#ifndef REGPU_COMMON_LOGGING_HH
+#define REGPU_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace regpu
+{
+
+namespace log_detail
+{
+
+/** Assemble a message from streamable parts. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+void emit(const char *level, const std::string &msg);
+
+} // namespace log_detail
+
+/** Report an internal simulator bug and abort. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    log_detail::emit("panic", log_detail::concat(args...));
+    std::abort();
+}
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    log_detail::emit("fatal", log_detail::concat(args...));
+    std::exit(1);
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    log_detail::emit("warn", log_detail::concat(args...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    log_detail::emit("info", log_detail::concat(args...));
+}
+
+/** Enable/disable inform() output (benches silence it). */
+void setInformEnabled(bool enabled);
+
+/** panic() unless the invariant holds. */
+#define REGPU_ASSERT(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::regpu::panic("assertion failed: ", #cond, " ", ##__VA_ARGS__);\
+    } while (0)
+
+} // namespace regpu
+
+#endif // REGPU_COMMON_LOGGING_HH

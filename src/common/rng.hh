@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All scene/texture/mesh generation draws from this generator so that
+ * every experiment is bit-reproducible across runs and machines
+ * (std::mt19937 distributions are not portable across standard
+ * libraries; we implement our own).
+ */
+
+#ifndef REGPU_COMMON_RNG_HH
+#define REGPU_COMMON_RNG_HH
+
+#include "common/types.hh"
+
+namespace regpu
+{
+
+/**
+ * xoshiro256** deterministic generator with portable helper
+ * distributions.
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion so any u64 seed is acceptable. */
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull)
+    {
+        u64 x = seed;
+        for (auto &word : state) {
+            x += 0x9e3779b97f4a7c15ull;
+            u64 z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit draw. */
+    u64
+    next()
+    {
+        const u64 result = rotl(state[1] * 5, 7) * 9;
+        const u64 t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform in [0, bound). bound == 0 returns 0. */
+    u64
+    nextBounded(u64 bound)
+    {
+        if (bound == 0)
+            return 0;
+        // Rejection sampling to avoid modulo bias.
+        const u64 threshold = (~bound + 1) % bound;
+        while (true) {
+            u64 r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    i64
+    nextRange(i64 lo, i64 hi)
+    {
+        if (hi <= lo)
+            return lo;
+        return lo + static_cast<i64>(
+            nextBounded(static_cast<u64>(hi - lo) + 1));
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    nextFloat()
+    {
+        return static_cast<float>(next() >> 40) * (1.0f / 16777216.0f);
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    nextFloatRange(float lo, float hi)
+    {
+        return lo + (hi - lo) * nextFloat();
+    }
+
+    /** Bernoulli draw with probability p. */
+    bool
+    nextBool(float p = 0.5f)
+    {
+        return nextFloat() < p;
+    }
+
+  private:
+    static u64
+    rotl(u64 x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    u64 state[4];
+};
+
+} // namespace regpu
+
+#endif // REGPU_COMMON_RNG_HH

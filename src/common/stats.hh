@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Lightweight named-statistics registry.
+ *
+ * Components register counters under hierarchical names
+ * ("raster.fragmentsShaded"); experiments snapshot and diff them.
+ */
+
+#ifndef REGPU_COMMON_STATS_HH
+#define REGPU_COMMON_STATS_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "common/types.hh"
+
+namespace regpu
+{
+
+/**
+ * A registry of named 64-bit counters and double-valued scalars.
+ * Not a singleton: each simulator instance owns one so that parallel
+ * experiments do not interfere.
+ */
+class StatRegistry
+{
+  public:
+    /** Add to (creating if absent) a counter. */
+    void
+    inc(const std::string &name, u64 delta = 1)
+    {
+        counters[name] += delta;
+    }
+
+    /** Add to (creating if absent) a floating-point scalar. */
+    void
+    add(const std::string &name, double delta)
+    {
+        scalars[name] += delta;
+    }
+
+    /** Read a counter (0 if absent). */
+    u64
+    counter(const std::string &name) const
+    {
+        auto it = counters.find(name);
+        return it == counters.end() ? 0 : it->second;
+    }
+
+    /** Read a scalar (0.0 if absent). */
+    double
+    scalar(const std::string &name) const
+    {
+        auto it = scalars.find(name);
+        return it == scalars.end() ? 0.0 : it->second;
+    }
+
+    /** Reset everything to zero. */
+    void
+    reset()
+    {
+        counters.clear();
+        scalars.clear();
+    }
+
+    /** Dump all stats, sorted by name. */
+    void
+    dump(std::ostream &os) const
+    {
+        for (const auto &[name, val] : counters)
+            os << name << " " << val << "\n";
+        for (const auto &[name, val] : scalars)
+            os << name << " " << val << "\n";
+    }
+
+    const std::map<std::string, u64> &allCounters() const
+    { return counters; }
+    const std::map<std::string, double> &allScalars() const
+    { return scalars; }
+
+  private:
+    std::map<std::string, u64> counters;
+    std::map<std::string, double> scalars;
+};
+
+} // namespace regpu
+
+#endif // REGPU_COMMON_STATS_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fundamental fixed-width types and units used across the simulator.
+ */
+
+#ifndef REGPU_COMMON_TYPES_HH
+#define REGPU_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace regpu
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Simulated memory address (byte granularity). */
+using Addr = u64;
+
+/** Simulated clock cycles. */
+using Cycles = u64;
+
+/** Simulated energy in picojoules. */
+using PicoJoules = double;
+
+/** Convenience literals for structure sizes. */
+constexpr u64 KiB = 1024;
+constexpr u64 MiB = 1024 * KiB;
+
+/** Identifier of a screen tile (row-major index into the tile grid). */
+using TileId = u32;
+
+/** Sentinel for "no tile". */
+constexpr TileId invalidTile = ~TileId{0};
+
+} // namespace regpu
+
+#endif // REGPU_COMMON_TYPES_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * CRC-32 polynomial arithmetic over GF(2).
+ *
+ * Convention used throughout the Rendering Elimination signature path:
+ *
+ *     F(M) = M(x) * x^32 mod G(x)
+ *
+ * with the non-reflected CRC-32 generator G = 0x04C11DB7, zero initial
+ * value and no final XOR. Under this convention concatenation obeys
+ *
+ *     F(A || B) = F(A) * x^|B|  xor  F(B)        (paper Algorithm 1)
+ *
+ * so a message can be signed incrementally from sub-messages of a priori
+ * unknown count, which is exactly what the Signature Unit requires: the
+ * primitives overlapping a tile only become known as the Polygon List
+ * Builder sorts the frame's geometry.
+ *
+ * Multiplication by x^k (k a multiple of 64 here) is implemented with
+ * small per-byte LUTs, mirroring the parallel table-based hardware of
+ * Sun & Kim that the paper adopts (Figs. 10 and 11).
+ */
+
+#ifndef REGPU_CRC_CRC32_HH
+#define REGPU_CRC_CRC32_HH
+
+#include <array>
+#include <cstddef>
+#include <span>
+
+#include "common/types.hh"
+
+namespace regpu
+{
+
+/** The CRC-32 generator polynomial (x^32 implied leading term). */
+constexpr u32 crcPolynomial = 0x04C11DB7u;
+
+/**
+ * Multiply two polynomials modulo G (carry-less multiply + reduce).
+ * Operands are degree-<32 polynomials represented MSB-first.
+ */
+u32 gf2MulMod(u32 a, u32 b);
+
+/**
+ * Compute x^n mod G by square-and-multiply. Used to build shift LUTs
+ * and by tests as an independent reference for the shift units.
+ */
+u32 gf2PowXMod(u64 n);
+
+/**
+ * Bitwise (slow, obviously-correct) reference implementation of
+ * F(M) = M * x^32 mod G for an arbitrary byte message.
+ */
+u32 crc32Reference(std::span<const u8> message);
+
+/** Bitwise reference for a 64-bit block (big-endian byte order). */
+u32 crc32ReferenceBlock64(u64 block);
+
+/**
+ * Shared, lazily-built LUT set for the table-based units.
+ *
+ * signLut[i][b]  = F(b placed as byte i of an 8-byte message)
+ *                = b(x) * x^(8*(7-i)) * x^32 mod G
+ * shiftLut[i][b] = (b placed as byte i of a 32-bit CRC) * x^64 mod G
+ *                = b(x) * x^(8*(3-i)) * x^64 mod G
+ *
+ * Eight 1 KB sign LUTs and four 1 KB shift LUTs: the storage the paper
+ * budgets in Section III-G.
+ */
+class CrcTables
+{
+  public:
+    /** Access the process-wide table set (built on first use). */
+    static const CrcTables &instance();
+
+    std::array<std::array<u32, 256>, 8> signLut{};
+    std::array<std::array<u32, 256>, 4> shiftLut{};
+
+    /**
+     * F of one 64-bit block: eight parallel LUT reads XOR-combined
+     * (the Sign subunit, Fig. 10).
+     */
+    u32
+    signBlock64(u64 block) const
+    {
+        u32 crc = 0;
+        for (int i = 0; i < 8; i++) {
+            u8 byte = static_cast<u8>(block >> (8 * (7 - i)));
+            crc ^= signLut[i][byte];
+        }
+        return crc;
+    }
+
+    /**
+     * crc * x^64 mod G: four parallel LUT reads XOR-combined
+     * (the Shift subunit, Fig. 11).
+     */
+    u32
+    shift64(u32 crc) const
+    {
+        u32 out = 0;
+        for (int i = 0; i < 4; i++) {
+            u8 byte = static_cast<u8>(crc >> (8 * (3 - i)));
+            out ^= shiftLut[i][byte];
+        }
+        return out;
+    }
+
+    /** Total LUT storage in bytes (area accounting). */
+    static constexpr u64
+    storageBytes()
+    {
+        return (8 + 4) * 256 * sizeof(u32);
+    }
+
+  private:
+    CrcTables();
+};
+
+/**
+ * Convenience: F over an arbitrary-length byte message using the
+ * table-based units, zero-padding the tail to a 64-bit boundary the
+ * same way the Signature Unit datapath does.
+ */
+u32 crc32Tabular(std::span<const u8> message);
+
+/**
+ * Combine per Algorithm 1: signature of (A || B) given F(A), F(B) and
+ * |B| expressed in 64-bit blocks.
+ */
+u32 crc32Combine(u32 crcA, u32 crcB, u32 blocks64OfB);
+
+} // namespace regpu
+
+#endif // REGPU_CRC_CRC32_HH

@@ -1,0 +1,82 @@
+#include "crc/hashes.hh"
+
+namespace regpu
+{
+
+const char *
+hashKindName(HashKind kind)
+{
+    switch (kind) {
+      case HashKind::Crc32:
+        return "CRC32";
+      case HashKind::XorFold:
+        return "XOR";
+      case HashKind::AddFold:
+        return "ADD";
+      case HashKind::Fnv1a:
+        return "FNV1a";
+      case HashKind::Trunc4:
+        return "TRUNC4";
+    }
+    return "?";
+}
+
+u32
+hashBlock(HashKind kind, std::span<const u8> block)
+{
+    switch (kind) {
+      case HashKind::Crc32:
+        return crc32Tabular(block);
+      case HashKind::XorFold: {
+        u32 acc = 0;
+        for (std::size_t i = 0; i < block.size(); i++)
+            acc ^= static_cast<u32>(block[i]) << (8 * (i % 4));
+        return acc;
+      }
+      case HashKind::AddFold: {
+        u32 acc = 0;
+        for (std::size_t i = 0; i < block.size(); i++)
+            acc += static_cast<u32>(block[i]) << (8 * (i % 4));
+        return acc;
+      }
+      case HashKind::Fnv1a: {
+        u32 acc = 2166136261u;
+        for (u8 byte : block) {
+            acc ^= byte;
+            acc *= 16777619u;
+        }
+        return acc;
+      }
+      case HashKind::Trunc4: {
+        u32 acc = 0;
+        for (std::size_t i = 0; i < block.size() && i < 4; i++)
+            acc |= static_cast<u32>(block[i]) << (8 * i);
+        return acc;
+      }
+    }
+    return 0;
+}
+
+u32
+hashCombine(HashKind kind, u32 tileSig, u32 blockSig, u32 blocks64OfBlock)
+{
+    switch (kind) {
+      case HashKind::Crc32:
+        return crc32Combine(tileSig, blockSig, blocks64OfBlock);
+      case HashKind::XorFold:
+        return tileSig ^ blockSig;
+      case HashKind::AddFold:
+        return tileSig + blockSig;
+      case HashKind::Fnv1a:
+        // Serial re-mix: order-sensitive but far weaker diffusion than
+        // a true byte-serial FNV over the concatenated message.
+        return (tileSig ^ blockSig) * 16777619u;
+      case HashKind::Trunc4:
+        // Keeps only the latest block's prefix: any two streams ending
+        // in blocks with equal first-4-bytes collide.
+        return blockSig;
+    }
+    return 0;
+}
+
+} // namespace regpu

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Alternative (weaker) signature functions for the Section V ablation:
+ * the paper states CRC32 outperforms XOR-based schemes; these are the
+ * straw-man schemes used to quantify that claim.
+ *
+ * Each hash supports the same incremental interface the Signature Unit
+ * needs: sign a block, then fold it into a tile's running signature.
+ */
+
+#ifndef REGPU_CRC_HASHES_HH
+#define REGPU_CRC_HASHES_HH
+
+#include <span>
+#include <string>
+
+#include "crc/crc32.hh"
+
+namespace regpu
+{
+
+/** Kinds of signature function available to the Signature Unit. */
+enum class HashKind
+{
+    Crc32,    //!< paper's choice
+    XorFold,  //!< XOR of 32-bit words (order- and position-insensitive)
+    AddFold,  //!< 32-bit additive checksum
+    Fnv1a,    //!< byte-serial FNV-1a (strong-ish, but serial in hardware)
+    /**
+     * Degenerate truncation: only the first 4 bytes of a block
+     * participate. Collides constantly by construction - used for
+     * failure injection, verifying that the simulator's ground-truth
+     * machinery detects (rather than masks) wrong tile skips.
+     */
+    Trunc4,
+};
+
+/** Printable name. */
+const char *hashKindName(HashKind kind);
+
+/**
+ * Sign a standalone block with the chosen function.
+ */
+u32 hashBlock(HashKind kind, std::span<const u8> block);
+
+/**
+ * Fold a block signature into a running tile signature.
+ * For CRC32 this is the Algorithm 1 combine (needs the block length in
+ * 64-bit units); the weak schemes ignore the length.
+ */
+u32 hashCombine(HashKind kind, u32 tileSig, u32 blockSig,
+                u32 blocks64OfBlock);
+
+} // namespace regpu
+
+#endif // REGPU_CRC_HASHES_HH

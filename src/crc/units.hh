@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Hardware-faithful models of the Compute CRC and Accumulate CRC units
+ * (paper Figs. 8-9, Algorithms 2-3), including cycle accounting.
+ *
+ * The Compute CRC unit signs a variable-length data block (a primitive's
+ * vertex attributes or a drawcall's constants) by folding fixed 64-bit
+ * sub-blocks, one per cycle. The Accumulate CRC unit re-aligns a tile's
+ * running signature by multiplying it by x^64 once per sub-block of the
+ * newly signed block, also one step per cycle.
+ */
+
+#ifndef REGPU_CRC_UNITS_HH
+#define REGPU_CRC_UNITS_HH
+
+#include <span>
+
+#include "crc/crc32.hh"
+
+namespace regpu
+{
+
+/** Result of signing one data block. */
+struct BlockSignature
+{
+    u32 crc = 0;         //!< F(block)
+    u32 shiftAmount = 0; //!< number of 64-bit sub-blocks folded
+};
+
+/**
+ * Compute CRC unit (Fig. 8): incrementally signs a byte stream in
+ * 64-bit sub-blocks using the Sign and Shift subunits.
+ */
+class ComputeCrcUnit
+{
+  public:
+    ComputeCrcUnit() : tables(CrcTables::instance()) {}
+
+    /**
+     * Sign a whole data block (zero-padded to a 64-bit boundary).
+     * @return the block's CRC and its length in sub-blocks.
+     */
+    BlockSignature
+    sign(std::span<const u8> block)
+    {
+        u32 crcOut = 0;
+        u32 shiftAmount = 0;
+        std::size_t i = 0;
+        while (i < block.size()) {
+            u64 sub = 0;
+            for (int b = 0; b < 8; b++) {
+                u8 byte = (i + b < block.size()) ? block[i + b] : 0;
+                sub = (sub << 8) | byte;
+            }
+            // One iteration of Algorithm 2: Sign subunit on the new
+            // sub-block in parallel with the Shift subunit on crcOut.
+            crcOut = tables.signBlock64(sub) ^ tables.shift64(crcOut);
+            shiftAmount++;
+            i += 8;
+            cycles++;
+        }
+        return {crcOut, shiftAmount};
+    }
+
+    /** Cycles consumed so far (1 per 64-bit sub-block). */
+    Cycles busyCycles() const { return cycles; }
+
+    /** Number of LUT lookups performed (12 per cycle: 8 sign + 4 shift).*/
+    u64 lutAccesses() const { return cycles * 12; }
+
+    void resetStats() { cycles = 0; }
+
+  private:
+    const CrcTables &tables;
+    Cycles cycles = 0;
+};
+
+/**
+ * Accumulate CRC unit (Fig. 9): multiplies a tile's stored CRC by
+ * x^(64 * shiftAmount), one Shift-subunit step per cycle.
+ */
+class AccumulateCrcUnit
+{
+  public:
+    AccumulateCrcUnit() : tables(CrcTables::instance()) {}
+
+    /** Algorithm 3: re-align tileCrc past a block of given length. */
+    u32
+    accumulate(u32 tileCrc, u32 shiftAmount)
+    {
+        u32 crc = tileCrc;
+        for (u32 k = 0; k < shiftAmount; k++) {
+            crc = tables.shift64(crc);
+            cycles++;
+        }
+        return crc;
+    }
+
+    Cycles busyCycles() const { return cycles; }
+
+    /** LUT lookups (4 shift-LUT reads per cycle). */
+    u64 lutAccesses() const { return cycles * 4; }
+
+    void resetStats() { cycles = 0; }
+
+  private:
+    const CrcTables &tables;
+    Cycles cycles = 0;
+};
+
+} // namespace regpu
+
+#endif // REGPU_CRC_UNITS_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The Tiling Engine: Polygon List Builder + Parameter Buffer.
+ *
+ * Sorts each assembled primitive into the screen tiles it overlaps and
+ * records, per tile, the ordered list of primitive references the Tile
+ * Scheduler will later fetch. Also accounts the Parameter Buffer
+ * footprint and write traffic, and reports each primitive's overlapped
+ * tiles so the Signature Unit can update tile signatures on the fly.
+ */
+
+#ifndef REGPU_GPU_BINNING_HH
+#define REGPU_GPU_BINNING_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "gpu/primitive.hh"
+#include "gpu/vertex.hh"
+
+namespace regpu
+{
+
+class MemTraceSink;
+
+/** Reference to a primitive stored in the Parameter Buffer. */
+struct PrimRef
+{
+    u32 primIndex;  //!< index into the frame's primitive array
+    Addr pbAddr;    //!< Parameter Buffer address of its attribute data
+    u32 pbBytes;    //!< attribute payload size
+};
+
+/** Per-frame binning result. */
+struct BinnedFrame
+{
+    /** All assembled primitives of the frame, in submission order. */
+    std::vector<Primitive> primitives;
+    /** Per-tile primitive lists (index = TileId). */
+    std::vector<std::vector<PrimRef>> tileLists;
+    /** Total Parameter Buffer bytes written this frame. */
+    u64 parameterBytes = 0;
+};
+
+/**
+ * Polygon List Builder.
+ *
+ * Overlap tests are exact: the conservative bounding-box tile range is
+ * refined with an edge-function test against each tile's rectangle, so
+ * a tile is only listed (and only contributes to signatures) when the
+ * triangle genuinely intersects it.
+ */
+class PolygonListBuilder
+{
+  public:
+    /**
+     * Callback invoked for every primitive as it is sorted, carrying
+     * the overlapped tile ids. The Signature Unit subscribes here.
+     */
+    using PrimitiveObserver =
+        std::function<void(const Primitive &, const DrawCall &,
+                           const std::vector<TileId> &)>;
+
+    PolygonListBuilder(const GpuConfig &config, StatRegistry &stats,
+                       MemTraceSink *mem)
+        : config(config), stats(stats), mem(mem)
+    {}
+
+    /** Register the per-primitive observer (may be empty). */
+    void setObserver(PrimitiveObserver obs) { observer = std::move(obs); }
+
+    /** Begin a new frame (resets the Parameter Buffer allocator). */
+    void beginFrame(BinnedFrame &frame);
+
+    /**
+     * Sort one drawcall's primitives into @p frame.
+     * @param draw the originating drawcall (for attribute sizes)
+     * @param prims geometry output, drawIndex already assigned
+     */
+    void binDrawcall(const DrawCall &draw,
+                     const std::vector<Primitive> &prims,
+                     BinnedFrame &frame);
+
+    /**
+     * Exact triangle/tile-grid overlap: returns the ids of all tiles
+     * the triangle intersects, in row-major order.
+     */
+    std::vector<TileId> overlappedTiles(const Primitive &prim) const;
+
+  private:
+    const GpuConfig &config;
+    StatRegistry &stats;
+    MemTraceSink *mem;
+    PrimitiveObserver observer;
+    Addr pbCursor = 0;
+};
+
+} // namespace regpu
+
+#endif // REGPU_GPU_BINNING_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Packed RGBA8 color type and blending, as produced by the Raster
+ * Pipeline's Blend unit and stored in the Color Buffer / Frame Buffer.
+ */
+
+#ifndef REGPU_GPU_COLOR_HH
+#define REGPU_GPU_COLOR_HH
+
+#include <algorithm>
+
+#include "common/types.hh"
+#include "common/vecmath.hh"
+
+namespace regpu
+{
+
+/** Packed 8-bit-per-channel RGBA color. */
+struct Color
+{
+    u8 r = 0, g = 0, b = 0, a = 255;
+
+    constexpr Color() = default;
+    constexpr Color(u8 r_, u8 g_, u8 b_, u8 a_ = 255)
+        : r(r_), g(g_), b(b_), a(a_) {}
+
+    constexpr bool operator==(const Color &) const = default;
+
+    /** Pack to a little-endian u32 (R in the low byte). */
+    constexpr u32
+    packed() const
+    {
+        return u32(r) | (u32(g) << 8) | (u32(b) << 16) | (u32(a) << 24);
+    }
+
+    /** Unpack from u32. */
+    static constexpr Color
+    fromPacked(u32 v)
+    {
+        return {u8(v), u8(v >> 8), u8(v >> 16), u8(v >> 24)};
+    }
+
+    /** Convert a float RGBA vector in [0,1] to packed 8-bit. */
+    static Color
+    fromVec4(Vec4 v)
+    {
+        auto q = [](float f) {
+            return static_cast<u8>(clampf(f, 0.0f, 1.0f) * 255.0f + 0.5f);
+        };
+        return {q(v.x), q(v.y), q(v.z), q(v.w)};
+    }
+
+    /** Convert back to float RGBA in [0,1]. */
+    Vec4
+    toVec4() const
+    {
+        return {r / 255.0f, g / 255.0f, b / 255.0f, a / 255.0f};
+    }
+};
+
+/** Blend modes supported by the Blend unit. */
+enum class BlendMode
+{
+    Replace,    //!< dst = src
+    AlphaBlend, //!< dst = src*a + dst*(1-a), standard transparency
+    Additive,   //!< dst = min(src + dst, 255)
+};
+
+/** Apply the Blend unit function. */
+inline Color
+blend(BlendMode mode, Color src, Color dst)
+{
+    switch (mode) {
+      case BlendMode::Replace:
+        return src;
+      case BlendMode::AlphaBlend: {
+        // Integer blend with rounding, as fixed-function hardware does.
+        u32 a = src.a;
+        u32 ia = 255 - a;
+        auto mix = [&](u32 s, u32 d) {
+            return static_cast<u8>((s * a + d * ia + 127) / 255);
+        };
+        return {mix(src.r, dst.r), mix(src.g, dst.g), mix(src.b, dst.b),
+                static_cast<u8>(std::max<u32>(src.a, dst.a))};
+      }
+      case BlendMode::Additive: {
+        auto sat = [](u32 s, u32 d) {
+            return static_cast<u8>(std::min<u32>(s + d, 255));
+        };
+        return {sat(src.r, dst.r), sat(src.g, dst.g), sat(src.b, dst.b),
+                static_cast<u8>(std::max<u32>(src.a, dst.a))};
+      }
+    }
+    return src;
+}
+
+} // namespace regpu
+
+#endif // REGPU_GPU_COLOR_HH

@@ -1,0 +1,112 @@
+#include "gpu/pipeline.hh"
+
+#include "common/logging.hh"
+#include "gpu/memiface.hh"
+
+namespace regpu
+{
+
+GraphicsPipeline::GraphicsPipeline(const GpuConfig &config,
+                                   StatRegistry &stats, MemTraceSink *mem,
+                                   const std::vector<Texture> &textures)
+    : config(config), stats(stats), mem(mem), textures(textures),
+      geometry(config, stats, mem), plb(config, stats, mem),
+      renderer(config, stats, mem, textures), fb(config)
+{
+}
+
+FrameResult
+GraphicsPipeline::renderFrame(const FrameCommands &commands,
+                              bool groundTruth)
+{
+    FrameResult result;
+    result.frameIndex = frameCounter;
+
+    const bool reSafe = !commands.globalStateChanged;
+    if (hooks)
+        hooks->frameBegin(frameCounter, reSafe);
+    renderer.setMemoClient(hooks ? hooks->memoClient() : nullptr);
+
+    // ---- Geometry Pipeline + Tiling Engine -----------------------------
+    plb.beginFrame(result.binned);
+    if (hooks) {
+        plb.setObserver([this](const Primitive &p, const DrawCall &d,
+                               const std::vector<TileId> &tiles) {
+            hooks->onPrimitiveBinned(p, d, tiles);
+        });
+    } else {
+        plb.setObserver({});
+    }
+
+    for (u32 d = 0; d < commands.draws.size(); d++) {
+        const DrawCall &draw = commands.draws[d];
+        if (hooks)
+            hooks->onDrawcallConstants(d, draw);
+        GeometryOutput geo = geometry.process(draw);
+        for (Primitive &p : geo.primitives)
+            p.drawIndex = d;
+        result.verticesShaded += geo.verticesShaded;
+        result.trianglesAssembled += geo.primitives.size();
+        plb.binDrawcall(draw, geo.primitives, result.binned);
+    }
+
+    if (hooks)
+        hooks->geometryDone();
+
+    // ---- Raster Pipeline, tile by tile ---------------------------------
+    const u32 numTiles = config.numTiles();
+    result.tiles.resize(numTiles);
+    std::vector<Color> tileColors;
+
+    for (TileId tile = 0; tile < numTiles; tile++) {
+        TileOutcome &out = result.tiles[tile];
+        const bool render = hooks ? hooks->shouldRenderTile(tile) : true;
+        out.rendered = render;
+
+        if (render) {
+            out.stats = renderer.renderTile(tile, result.binned,
+                                            commands.draws,
+                                            commands.clearColor,
+                                            tileColors, true);
+            out.equalColors = fb.tileEquals(tile, tileColors);
+
+            bool flush = hooks
+                ? hooks->shouldFlushTile(tile, tileColors) : true;
+            out.flushed = flush;
+            if (flush) {
+                fb.writeTile(tile, tileColors);
+                if (mem)
+                    mem->colorFlush(fb.tileAddr(tile), fb.tileBytes(tile));
+                stats.inc("raster.tilesFlushed");
+            } else {
+                stats.inc("raster.tileFlushesEliminated");
+            }
+            stats.inc("raster.tilesRendered");
+        } else {
+            // Rendering Elimination bypass: the Back Buffer already
+            // holds the (believed-identical) colors.
+            out.flushed = false;
+            stats.inc("raster.tilesEliminated");
+            if (groundTruth) {
+                // Shadow render for ground truth - no cost charged.
+                out.stats = TileRenderStats{}; // skipped: zero cost
+                std::vector<Color> shadow;
+                renderer.renderTile(tile, result.binned, commands.draws,
+                                    commands.clearColor, shadow, false);
+                out.equalColors = fb.tileEquals(tile, shadow);
+                if (!out.equalColors)
+                    stats.inc("re.falsePositives");
+            }
+        }
+    }
+
+    if (hooks)
+        hooks->frameEnd();
+
+    fb.swap();
+    frameCounter++;
+    stats.inc("frames");
+    return result;
+}
+
+} // namespace regpu

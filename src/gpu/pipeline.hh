@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Top-level per-frame orchestration of the TBR graphics pipeline
+ * (Fig. 4 of the paper), with the hook points Rendering Elimination,
+ * Transaction Elimination and Fragment Memoization attach to.
+ */
+
+#ifndef REGPU_GPU_PIPELINE_HH
+#define REGPU_GPU_PIPELINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "gpu/binning.hh"
+#include "gpu/framebuffer.hh"
+#include "gpu/geometry.hh"
+#include "gpu/raster.hh"
+
+namespace regpu
+{
+
+class MemTraceSink;
+
+/**
+ * Hook points a redundancy-elimination technique implements. Default
+ * implementations reproduce the baseline pipeline (render everything,
+ * flush everything).
+ */
+class PipelineHooks
+{
+  public:
+    virtual ~PipelineHooks() = default;
+
+    /** Frame is starting. @param reSafe false when the driver saw
+     *  global-state uploads and techniques must disable themselves. */
+    virtual void frameBegin(u64 frameIndex, bool reSafe) {}
+
+    /** The Command Processor resolved a drawcall's constants. */
+    virtual void onDrawcallConstants(u32 drawIndex, const DrawCall &draw) {}
+
+    /** The Polygon List Builder sorted one primitive. */
+    virtual void
+    onPrimitiveBinned(const Primitive &prim, const DrawCall &draw,
+                      const std::vector<TileId> &tiles)
+    {}
+
+    /** Geometry done; Raster Pipeline about to start visiting tiles. */
+    virtual void geometryDone() {}
+
+    /** Should this tile's Raster Pipeline execution run at all?
+     *  (Rendering Elimination answers false for redundant tiles.) */
+    virtual bool shouldRenderTile(TileId tile) { return true; }
+
+    /** Tile rendered; should its colors be flushed to the Frame
+     *  Buffer? (Transaction Elimination answers false on signature
+     *  match.) */
+    virtual bool
+    shouldFlushTile(TileId tile, const std::vector<Color> &colors)
+    {
+        return true;
+    }
+
+    /** Frame fully processed (before buffer swap). */
+    virtual void frameEnd() {}
+
+    /** Memoization hook, if the technique provides one. */
+    virtual FragmentMemoClient *memoClient() { return nullptr; }
+};
+
+/** Outcome of one tile in one frame (classification + accounting). */
+struct TileOutcome
+{
+    bool rendered = true;       //!< raster pipeline executed
+    bool flushed = true;        //!< colors written to the Frame Buffer
+    bool equalColors = false;   //!< ground truth: same colors as the
+                                //!< comparison frame in the Back Buffer
+    bool equalInputs = false;   //!< signature matched (RE's view)
+    TileRenderStats stats;      //!< zeros when skipped
+};
+
+/** Per-frame simulation products. */
+struct FrameResult
+{
+    u64 frameIndex = 0;
+    BinnedFrame binned;
+    std::vector<TileOutcome> tiles;
+    u64 verticesShaded = 0;
+    u64 trianglesAssembled = 0;
+    bool techniqueActive = true;  //!< false when RE was disabled
+};
+
+/**
+ * The full GPU: owns the Frame Buffer and runs frames through
+ * geometry, binning and per-tile rasterisation, consulting the
+ * attached hooks.
+ */
+class GraphicsPipeline
+{
+  public:
+    GraphicsPipeline(const GpuConfig &config, StatRegistry &stats,
+                     MemTraceSink *mem,
+                     const std::vector<Texture> &textures);
+
+    /** Attach technique hooks (nullptr = baseline). */
+    void setHooks(PipelineHooks *hooks_) { hooks = hooks_; }
+
+    /**
+     * Render one frame.
+     * @param commands  the frame's drawcalls
+     * @param groundTruth when true, skipped tiles are shadow-rendered
+     *        (no cost charged) so TileOutcome::equalColors is exact
+     *        for every tile - needed by Fig. 15a and correctness tests
+     */
+    FrameResult renderFrame(const FrameCommands &commands,
+                            bool groundTruth = true);
+
+    FrameBuffer &frameBuffer() { return fb; }
+    const GpuConfig &gpuConfig() const { return config; }
+
+  private:
+    const GpuConfig &config;
+    StatRegistry &stats;
+    MemTraceSink *mem;
+    const std::vector<Texture> &textures;
+    PipelineHooks *hooks = nullptr;
+
+    GeometryPipeline geometry;
+    PolygonListBuilder plb;
+    TileRenderer renderer;
+    FrameBuffer fb;
+    u64 frameCounter = 0;
+};
+
+} // namespace regpu
+
+#endif // REGPU_GPU_PIPELINE_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Screen-space primitives produced by the Geometry Pipeline and
+ * consumed by the Tiling Engine and Raster Pipeline.
+ */
+
+#ifndef REGPU_GPU_PRIMITIVE_HH
+#define REGPU_GPU_PRIMITIVE_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.hh"
+#include "common/vecmath.hh"
+
+namespace regpu
+{
+
+/** One shaded, viewport-transformed vertex of a primitive. */
+struct ShadedVertex
+{
+    float x = 0;        //!< window-space x (pixels)
+    float y = 0;        //!< window-space y (pixels)
+    float z = 0;        //!< depth in [0,1]
+    float invW = 1;     //!< 1/w_clip for perspective-correct interp
+    Vec4 color{1, 1, 1, 1};
+    Vec2 texcoord;
+    float diffuse = 1;  //!< precomputed N.L term (TexLit)
+};
+
+/**
+ * An assembled triangle in window space, tagged with the drawcall it
+ * came from so the Raster Pipeline can recover pipeline state.
+ */
+struct Primitive
+{
+    ShadedVertex v[3];
+    u32 drawIndex = 0;      //!< index into FrameCommands::draws
+    u32 firstVertex = 0;    //!< first input-vertex index (signature path)
+
+    /** Conservative window-space bounding box. */
+    void
+    bounds(float &minX, float &minY, float &maxX, float &maxY) const
+    {
+        minX = std::min({v[0].x, v[1].x, v[2].x});
+        minY = std::min({v[0].y, v[1].y, v[2].y});
+        maxX = std::max({v[0].x, v[1].x, v[2].x});
+        maxY = std::max({v[0].y, v[1].y, v[2].y});
+    }
+
+    /** Twice the signed area (negative: clockwise in our convention). */
+    float
+    signedArea2() const
+    {
+        return (v[1].x - v[0].x) * (v[2].y - v[0].y)
+             - (v[2].x - v[0].x) * (v[1].y - v[0].y);
+    }
+};
+
+} // namespace regpu
+
+#endif // REGPU_GPU_PRIMITIVE_HH

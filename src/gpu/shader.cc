@@ -1,0 +1,88 @@
+#include "gpu/shader.hh"
+
+#include <cstring>
+
+namespace regpu
+{
+
+u32
+fragmentShaderInstructions(ShaderKind kind)
+{
+    switch (kind) {
+      case ShaderKind::Flat:
+        return 4;
+      case ShaderKind::VertexColor:
+        return 6;
+      case ShaderKind::Textured:
+        return 12;
+      case ShaderKind::TexModulate:
+        return 16;
+      case ShaderKind::TexLit:
+        return 22;
+    }
+    return 4;
+}
+
+u32
+vertexShaderInstructions(ShaderKind kind)
+{
+    // 16 MADs for the MVP transform plus varying moves.
+    switch (kind) {
+      case ShaderKind::Flat:
+        return 18;
+      case ShaderKind::VertexColor:
+        return 20;
+      case ShaderKind::Textured:
+        return 20;
+      case ShaderKind::TexModulate:
+        return 24;
+      case ShaderKind::TexLit:
+        return 30;
+    }
+    return 18;
+}
+
+bool
+shaderSamplesTexture(ShaderKind kind)
+{
+    return kind == ShaderKind::Textured || kind == ShaderKind::TexModulate
+        || kind == ShaderKind::TexLit;
+}
+
+std::vector<u8>
+UniformSet::serialize() const
+{
+    // The driver only uploads the uniforms a drawcall actually sets.
+    // The common command updates just the MVP (the paper's "average
+    // command that updates constants modifies 16 values"); the extra
+    // section is appended only when any non-default value is present.
+    // The serialisation stays a pure function of the values, and the
+    // two layouts can never collide: they have different lengths and
+    // CRC-32 combining is length-aware.
+    std::vector<u8> out;
+    out.reserve(valueCount * 4);
+    auto put = [&out](float f) {
+        u32 bits;
+        std::memcpy(&bits, &f, 4);
+        out.push_back(static_cast<u8>(bits));
+        out.push_back(static_cast<u8>(bits >> 8));
+        out.push_back(static_cast<u8>(bits >> 16));
+        out.push_back(static_cast<u8>(bits >> 24));
+    };
+    for (int c = 0; c < 4; c++)
+        for (int r = 0; r < 4; r++)
+            put(mvp.m[c][r]);
+    const UniformSet defaults;
+    const bool extras = !(tint == defaults.tint)
+        || !(lightDir == defaults.lightDir)
+        || uvOffsetS != defaults.uvOffsetS
+        || uvOffsetT != defaults.uvOffsetT;
+    if (extras) {
+        put(tint.x); put(tint.y); put(tint.z); put(tint.w);
+        put(lightDir.x); put(lightDir.y); put(lightDir.z);
+        put(uvOffsetS); put(uvOffsetT);
+    }
+    return out;
+}
+
+} // namespace regpu

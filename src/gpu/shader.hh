@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shader programs and scene constants ("uniforms").
+ *
+ * The pipeline-state model follows the paper's OpenGL ES framing: the
+ * application binds a shader program and a set of scene constants, then
+ * issues drawcalls. Shaders here are parameterised fixed programs (the
+ * benchmark suite's games use small ES 1.x/2.0-class shaders); each
+ * carries an instruction cost used by the timing model.
+ */
+
+#ifndef REGPU_GPU_SHADER_HH
+#define REGPU_GPU_SHADER_HH
+
+#include <span>
+#include <vector>
+
+#include "common/types.hh"
+#include "common/vecmath.hh"
+#include "gpu/color.hh"
+
+namespace regpu
+{
+
+/** Fragment shader kinds available to workloads. */
+enum class ShaderKind : u8
+{
+    Flat,          //!< uniform tint color only
+    VertexColor,   //!< interpolated vertex color
+    Textured,      //!< texture sample
+    TexModulate,   //!< texture sample * vertex color * tint
+    TexLit,        //!< texture * simple N.L diffuse lighting
+};
+
+/** Number of fragment-shader instructions per kind (timing model). */
+u32 fragmentShaderInstructions(ShaderKind kind);
+
+/** Vertex-shader instruction count (MVP transform + varying moves). */
+u32 vertexShaderInstructions(ShaderKind kind);
+
+/** Whether the kind samples a texture. */
+bool shaderSamplesTexture(ShaderKind kind);
+
+/**
+ * Scene constants for one drawcall: the data the Command Processor
+ * sends to the Signature Unit when the application updates state.
+ *
+ * Serialisation is stable and byte-exact: two UniformSets serialise
+ * identically iff all their values are bit-identical, which is the
+ * property the tile-input signature relies on.
+ */
+struct UniformSet
+{
+    Mat4 mvp = Mat4::identity();  //!< model-view-projection
+    Vec4 tint{1, 1, 1, 1};        //!< global modulation color
+    Vec3 lightDir{0, 0, 1};       //!< directional light (TexLit)
+    float uvOffsetS = 0;          //!< texture-coordinate scroll
+    float uvOffsetT = 0;
+
+    bool operator==(const UniformSet &) const = default;
+
+    /** Serialise to the byte stream the Signature Unit signs. */
+    std::vector<u8> serialize() const;
+
+    /** Number of 4-byte values (the paper's "average command updates
+     *  16 values" corresponds to one Mat4). */
+    static constexpr u32 valueCount = 16 + 4 + 3 + 2;
+};
+
+/**
+ * Pipeline state bound at drawcall time.
+ */
+struct PipelineState
+{
+    ShaderKind shader = ShaderKind::Flat;
+    i32 textureId = -1;               //!< -1: no texture bound
+    BlendMode blendMode = BlendMode::Replace;
+    bool depthTest = true;
+    bool depthWrite = true;
+    UniformSet uniforms;
+};
+
+} // namespace regpu
+
+#endif // REGPU_GPU_SHADER_HH

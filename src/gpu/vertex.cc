@@ -1,0 +1,52 @@
+#include "gpu/vertex.hh"
+
+#include "common/logging.hh"
+
+namespace regpu
+{
+
+namespace
+{
+
+void
+putFloat(std::vector<u8> &out, float f)
+{
+    u32 bits;
+    std::memcpy(&bits, &f, 4);
+    out.push_back(static_cast<u8>(bits));
+    out.push_back(static_cast<u8>(bits >> 8));
+    out.push_back(static_cast<u8>(bits >> 16));
+    out.push_back(static_cast<u8>(bits >> 24));
+}
+
+void
+putVec4(std::vector<u8> &out, Vec4 v)
+{
+    putFloat(out, v.x);
+    putFloat(out, v.y);
+    putFloat(out, v.z);
+    putFloat(out, v.w);
+}
+
+} // namespace
+
+std::vector<u8>
+serializeTriangleAttributes(const DrawCall &draw, u32 firstVertexIndex)
+{
+    REGPU_ASSERT(firstVertexIndex + 3 <= draw.vertices.size());
+    std::vector<u8> out;
+    out.reserve(draw.layout.attributeCount() * 3 * 16);
+    for (u32 v = 0; v < 3; v++) {
+        const Vertex &vert = draw.vertices[firstVertexIndex + v];
+        putVec4(out, Vec4(vert.position, 1.0f));
+        if (draw.layout.hasColor)
+            putVec4(out, vert.color);
+        if (draw.layout.hasTexcoord)
+            putVec4(out, Vec4(vert.texcoord.x, vert.texcoord.y, 0, 0));
+        if (draw.layout.hasNormal)
+            putVec4(out, Vec4(vert.normal, 0.0f));
+    }
+    return out;
+}
+
+} // namespace regpu

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Vertex formats and drawcall / command-stream definitions.
+ */
+
+#ifndef REGPU_GPU_VERTEX_HH
+#define REGPU_GPU_VERTEX_HH
+
+#include <cstring>
+#include <vector>
+
+#include "common/types.hh"
+#include "common/vecmath.hh"
+#include "gpu/shader.hh"
+
+namespace regpu
+{
+
+/**
+ * An input vertex as submitted by the application.
+ *
+ * Attribute presence is fixed per drawcall (see VertexLayout); unused
+ * attributes hold zeros so serialisation stays byte-stable.
+ */
+struct Vertex
+{
+    Vec3 position;       //!< object-space position
+    Vec4 color{1, 1, 1, 1};
+    Vec2 texcoord;
+    Vec3 normal{0, 0, 1};
+
+    bool operator==(const Vertex &) const = default;
+};
+
+/** Which attributes a drawcall's vertices carry. */
+struct VertexLayout
+{
+    bool hasColor = false;
+    bool hasTexcoord = false;
+    bool hasNormal = false;
+
+    /**
+     * Per-vertex size in bytes as fetched by the Vertex Fetcher.
+     * Position is a vec4 in memory (w=1 pad), matching the paper's
+     * "four 4-byte components" accounting.
+     */
+    u32
+    strideBytes() const
+    {
+        u32 s = 16;
+        if (hasColor) s += 16;
+        if (hasTexcoord) s += 16;  // padded to vec4
+        if (hasNormal) s += 16;
+        return s;
+    }
+
+    /** Number of vec4 attributes per vertex (incl. position). */
+    u32
+    attributeCount() const
+    {
+        return 1 + (hasColor ? 1 : 0) + (hasTexcoord ? 1 : 0)
+            + (hasNormal ? 1 : 0);
+    }
+
+    bool operator==(const VertexLayout &) const = default;
+};
+
+/**
+ * One drawcall: pipeline state + a triangle-list vertex stream.
+ */
+struct DrawCall
+{
+    PipelineState state;
+    VertexLayout layout;
+    std::vector<Vertex> vertices;  //!< triangle list (3N vertices)
+    /** Stable id of the vertex buffer backing this draw (address map +
+     *  vertex-cache behaviour). */
+    u32 vertexBufferId = 0;
+
+    u32 triangleCount() const
+    { return static_cast<u32>(vertices.size() / 3); }
+
+    /** Simulated address of vertex @p i in its vertex buffer. */
+    Addr
+    vertexAddr(u32 i) const
+    {
+        return 0x1'0000'0000ull
+            + (static_cast<Addr>(vertexBufferId) << 20)
+            + static_cast<Addr>(i) * layout.strideBytes();
+    }
+};
+
+/**
+ * Everything the application submits for one frame: an ordered list of
+ * drawcalls (state changes are implicit in each drawcall's state, as
+ * the Command Processor would have resolved them) plus frame-global
+ * flags the driver tracks for Rendering Elimination.
+ */
+struct FrameCommands
+{
+    std::vector<DrawCall> draws;
+
+    /**
+     * True when the application loaded new shaders/textures this frame
+     * (glShaderSource / glTexImage2D): the driver disables RE for the
+     * frame (paper §III-E).
+     */
+    bool globalStateChanged = false;
+
+    /** Clear color for the frame (tiles start cleared to this). */
+    Color clearColor{0, 0, 0, 255};
+};
+
+/**
+ * Serialise the vertex attributes of one assembled triangle for the
+ * Signature Unit: 3 vertices x vec4 per present attribute, in a fixed
+ * attribute order. A 3-attribute triangle serialises to 3x3x16 = 144
+ * bytes = 18 sub-blocks of 64 bits, matching the paper's "signing the
+ * average primitive requires 18 cycles".
+ */
+std::vector<u8> serializeTriangleAttributes(const DrawCall &draw,
+                                            u32 firstVertexIndex);
+
+} // namespace regpu
+
+#endif // REGPU_GPU_VERTEX_HH

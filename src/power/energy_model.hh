@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Event-based energy model (McPAT/CACTI substitute).
+ *
+ * Each microarchitectural event carries a per-access energy whose
+ * magnitude follows published 32 nm CACTI/McPAT figures for structures
+ * of the Table I sizes; leakage is charged per busy cycle. Constants
+ * are calibrated so the baseline's aggregate splits match the paper's
+ * premises: roughly 75% of GPU memory accesses originate in the Raster
+ * Pipeline (textures + colors + primitives) and main memory accounts
+ * for about half the GPU/memory system energy.
+ */
+
+#ifndef REGPU_POWER_ENERGY_MODEL_HH
+#define REGPU_POWER_ENERGY_MODEL_HH
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace regpu
+{
+
+/** Per-event energies in picojoules (32 nm, 1 V). */
+struct EnergyParams
+{
+    // DRAM: LPDDR3 ~ tens of pJ per byte transferred + activation.
+    double dramPerByte = 25.0;
+    double dramPerAccess = 400.0;
+
+    // On-chip SRAM reads, scaled by structure size.
+    double vertexCacheAccess = 6.0;   // 4 KB
+    double textureCacheAccess = 9.0;  // 8 KB
+    double tileCacheAccess = 30.0;    // 128 KB
+    double l2CacheAccess = 45.0;      // 256 KB
+    double colorDepthBufferAccess = 3.0; // 1 KB on-chip buffers
+
+    // Datapath.
+    double shaderInstruction = 8.0;    // ALU + regfile + fetch
+    double rasterizedFragment = 6.0;   // rasterizer + interpolators
+    double earlyZTest = 2.5;
+    double blendOp = 3.0;
+    double vertexFetched = 4.0;
+    double triangleSetup = 20.0;
+    double binnedOverlap = 5.0;        // PLB sort step per tile overlap
+
+    // Rendering Elimination hardware (Section V: <0.5% energy).
+    double crcLutAccess = 0.8;         // one 1 KB LUT read
+    double signatureBufferAccess = 2.5;// 28.8 KB SRAM
+    double otQueuePush = 0.5;
+    double bitmapAccess = 0.2;
+
+    // Leakage, per cycle at 400 MHz / 32 nm: ~45 mW GPU static.
+    double gpuLeakagePerCycle = 112.0;  // pJ/cycle ~= 45 mW
+    double dramBackgroundPerCycle = 38.0; // pJ/cycle ~= 15 mW
+};
+
+/** Energy totals split as in Fig. 14b. */
+struct EnergyBreakdown
+{
+    PicoJoules gpuDynamic = 0;
+    PicoJoules gpuStatic = 0;
+    PicoJoules memDynamic = 0;
+    PicoJoules memStatic = 0;
+
+    PicoJoules gpu() const { return gpuDynamic + gpuStatic; }
+    PicoJoules memory() const { return memDynamic + memStatic; }
+    PicoJoules total() const { return gpu() + memory(); }
+};
+
+/**
+ * Accumulates energy from event counts.
+ */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams &params = {})
+        : p(params)
+    {}
+
+    const EnergyParams &params() const { return p; }
+
+    /** Charge DRAM traffic. */
+    void
+    chargeDram(u64 accesses, u64 bytes)
+    {
+        acc.memDynamic += accesses * p.dramPerAccess
+            + bytes * p.dramPerByte;
+    }
+
+    /** Charge on-chip cache activity. */
+    void
+    chargeCaches(u64 vertexAcc, u64 textureAcc, u64 tileAcc, u64 l2Acc)
+    {
+        acc.gpuDynamic += vertexAcc * p.vertexCacheAccess
+            + textureAcc * p.textureCacheAccess
+            + tileAcc * p.tileCacheAccess
+            + l2Acc * p.l2CacheAccess;
+    }
+
+    /** Charge shading/raster datapath activity. */
+    void
+    chargeDatapath(u64 vertsFetched, u64 vertexInstrs, u64 triangles,
+                   u64 overlaps, u64 fragments, u64 zTests,
+                   u64 fragInstrs, u64 blends, u64 cbAccesses)
+    {
+        acc.gpuDynamic += vertsFetched * p.vertexFetched
+            + vertexInstrs * p.shaderInstruction
+            + triangles * p.triangleSetup
+            + overlaps * p.binnedOverlap
+            + fragments * p.rasterizedFragment
+            + zTests * p.earlyZTest
+            + fragInstrs * p.shaderInstruction
+            + blends * p.blendOp
+            + cbAccesses * p.colorDepthBufferAccess;
+    }
+
+    /** Charge Rendering Elimination / Transaction Elimination HW. */
+    void
+    chargeSignatureHw(u64 lutAccesses, u64 sigBufAccesses,
+                      u64 otPushes, u64 bitmapAccesses)
+    {
+        acc.gpuDynamic += lutAccesses * p.crcLutAccess
+            + sigBufAccesses * p.signatureBufferAccess
+            + otPushes * p.otQueuePush
+            + bitmapAccesses * p.bitmapAccess;
+    }
+
+    /** Charge leakage for the frame's cycle count. */
+    void
+    chargeStatic(Cycles gpuCycles)
+    {
+        acc.gpuStatic += gpuCycles * p.gpuLeakagePerCycle;
+        acc.memStatic += gpuCycles * p.dramBackgroundPerCycle;
+    }
+
+    const EnergyBreakdown &breakdown() const { return acc; }
+    void reset() { acc = EnergyBreakdown{}; }
+
+    /**
+     * Average power in milliwatts given total cycles at the configured
+     * frequency (Fig. 1 substitute).
+     */
+    static double
+    averagePowerMw(const EnergyBreakdown &e, Cycles cycles,
+                   u64 frequencyHz)
+    {
+        if (cycles == 0)
+            return 0.0;
+        double seconds = static_cast<double>(cycles) / frequencyHz;
+        return e.total() * 1e-12 / seconds * 1e3;
+    }
+
+  private:
+    EnergyParams p;
+    EnergyBreakdown acc;
+};
+
+/**
+ * Area accounting for the added RE hardware (paper: <1% of GPU area).
+ * Returns structure sizes in bytes; the GPU baseline area proxy is the
+ * sum of its SRAM structures.
+ */
+struct AreaReport
+{
+    u64 crcLutBytes = 12 * 1024;       //!< 8 sign + 4 shift LUTs
+    u64 signatureBufferBytes = 0;      //!< 2 x numTiles x 4 B
+    u64 otQueueBytes = 16 * 4;
+    u64 bitmapBytes = 0;               //!< numTiles / 8
+
+    u64 baselineSramBytes = 0;
+
+    double
+    overheadFraction() const
+    {
+        u64 added = crcLutBytes + signatureBufferBytes + otQueueBytes
+            + bitmapBytes;
+        return baselineSramBytes
+            ? static_cast<double>(added) / baselineSramBytes : 0.0;
+    }
+
+    static AreaReport forConfig(const GpuConfig &config);
+};
+
+} // namespace regpu
+
+#endif // REGPU_POWER_ENERGY_MODEL_HH

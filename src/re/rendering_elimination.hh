@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Rendering Elimination controller: wires the Signature Unit and
+ * Signature Buffer into the pipeline hook points and decides, per
+ * tile, whether the Raster Pipeline can be bypassed.
+ *
+ * Driver-visible behaviour per paper §III-E:
+ *  - RE is disabled for a frame when shaders/textures were uploaded
+ *    (glShaderSource / glTexImage2D class API calls);
+ *  - RE can be disabled one frame out of every refreshPeriodFrames to
+ *    guarantee Frame Buffer refresh;
+ *  - a disabled frame also invalidates its own signatures so later
+ *    frames never match against it.
+ */
+
+#ifndef REGPU_RE_RENDERING_ELIMINATION_HH
+#define REGPU_RE_RENDERING_ELIMINATION_HH
+
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "gpu/pipeline.hh"
+#include "re/signature_buffer.hh"
+#include "re/signature_unit.hh"
+
+namespace regpu
+{
+
+/**
+ * PipelineHooks implementation for Rendering Elimination.
+ */
+class RenderingElimination : public PipelineHooks
+{
+  public:
+    /**
+     * Slot count: while frame N accumulates we must still hold frame
+     * N-1 (needed for frame N+1's comparison under double buffering)
+     * and frame N-2 (the Back Buffer frame N compares against), hence
+     * 3 rotation slots; single buffering compares N vs N-1 and needs 2.
+     * The hardware cost reported by the paper (2 frames of signatures)
+     * corresponds to the steady-state live sets.
+     */
+    RenderingElimination(const GpuConfig &config, StatRegistry &stats,
+                         HashKind hashKind = HashKind::Crc32)
+        : config(config), stats(stats),
+          buffer(config.numTiles(), config.doubleBuffered ? 3 : 2),
+          unit(config, buffer, hashKind)
+    {}
+
+    // ---- PipelineHooks ---------------------------------------------------
+
+    void
+    frameBegin(u64 frameIndex, bool reSafe) override
+    {
+        buffer.rotate();
+        unit.frameBegin();
+        frame = frameIndex;
+        enabled = reSafe;
+        if (config.refreshPeriodFrames
+            && frameIndex % config.refreshPeriodFrames
+               == config.refreshPeriodFrames - 1)
+            enabled = false;
+        if (!enabled) {
+            stats.inc("re.framesDisabled");
+            // This frame's signatures will not be trustworthy for
+            // future comparisons either: its tiles get rendered with
+            // potentially new global state.
+            buffer.invalidateCurrent();
+        }
+        buffer.setAllValid(enabled);
+    }
+
+    void
+    onDrawcallConstants(u32 drawIndex, const DrawCall &draw) override
+    {
+        if (!enabled)
+            return;
+        std::vector<u8> bytes = draw.state.uniforms.serialize();
+        // Shader kind, texture binding and blend state are part of the
+        // tile's rendering inputs even though the paper keeps shader
+        // *code* and texture *contents* out of the signature: binding
+        // a different texture/shader must change the signature.
+        bytes.push_back(static_cast<u8>(draw.state.shader));
+        bytes.push_back(static_cast<u8>(draw.state.blendMode));
+        bytes.push_back(static_cast<u8>(draw.state.textureId + 1));
+        bytes.push_back(static_cast<u8>((draw.state.textureId + 1) >> 8));
+        bytes.push_back(draw.state.depthTest ? 1 : 0);
+        bytes.push_back(draw.state.depthWrite ? 1 : 0);
+        unit.onConstants(bytes);
+        stats.inc("re.constantBlocksSigned");
+    }
+
+    void
+    onPrimitiveBinned(const Primitive &prim, const DrawCall &draw,
+                      const std::vector<TileId> &tiles) override
+    {
+        if (!enabled)
+            return;
+        std::vector<u8> attrs =
+            serializeTriangleAttributes(draw, prim.firstVertex);
+        // Inter-arrival of primitives at the PLB: the slowest of the
+        // PLB's own sorting work and the upstream vertex-shading rate
+        // (3 vertices per triangle through the vertex processors).
+        Cycles plbCycles = tiles.size() * 2
+            + (attrs.size() + 16) / 16;
+        Cycles shadeCycles = 3ull
+            * vertexShaderInstructions(draw.state.shader)
+            / config.numVertexProcessors;
+        unit.onPrimitive(attrs, tiles, std::max(plbCycles, shadeCycles));
+        stats.inc("re.primitiveBlocksSigned");
+    }
+
+    bool
+    shouldRenderTile(TileId tile) override
+    {
+        if (!enabled)
+            return true;
+        bool matched = false;
+        bool comparable = buffer.compare(tile, matched);
+        stats.inc("re.signatureCompares");
+        if (comparable && matched) {
+            stats.inc("re.tilesSkipped");
+            return false;
+        }
+        return true;
+    }
+
+    void
+    frameEnd() override
+    {
+        const SignatureUnitActivity &a = unit.activity();
+        stats.inc("re.computeCycles", a.computeCycles);
+        stats.inc("re.accumulateCycles", a.accumulateCycles);
+        stats.inc("re.stallCycles", a.stallCycles);
+        stats.inc("re.lutAccesses", a.lutAccesses);
+        stats.inc("re.sigBufferAccesses", a.sigBufferAccesses);
+        stats.inc("re.otPushes", a.otPushes);
+        stats.inc("re.bitmapAccesses", a.bitmapAccesses);
+    }
+
+    /** Geometry-stall cycles of the current frame (timing model). */
+    Cycles frameStallCycles() const { return unit.activity().stallCycles; }
+
+    /** Whether RE is active this frame. */
+    bool active() const { return enabled; }
+
+    SignatureBuffer &signatureBuffer() { return buffer; }
+    const SignatureUnit &signatureUnit() const { return unit; }
+
+  private:
+    const GpuConfig &config;
+    StatRegistry &stats;
+    SignatureBuffer buffer;
+    SignatureUnit unit;
+    u64 frame = 0;
+    bool enabled = true;
+};
+
+} // namespace regpu
+
+#endif // REGPU_RE_RENDERING_ELIMINATION_HH

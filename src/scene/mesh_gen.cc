@@ -1,0 +1,203 @@
+#include "scene/mesh_gen.hh"
+
+#include <cmath>
+
+namespace regpu
+{
+
+namespace
+{
+
+void
+pushTri(Mesh &mesh, Vertex a, Vertex b, Vertex c)
+{
+    mesh.vertices.push_back(a);
+    mesh.vertices.push_back(b);
+    mesh.vertices.push_back(c);
+}
+
+Vertex
+vert(float x, float y, float z, float s, float t,
+     Vec4 color = {1, 1, 1, 1}, Vec3 n = {0, 0, 1})
+{
+    Vertex v;
+    v.position = {x, y, z};
+    v.texcoord = {s, t};
+    v.color = color;
+    v.normal = n;
+    return v;
+}
+
+} // namespace
+
+Mesh
+makeQuad(float w, float h, float uvScale)
+{
+    Mesh mesh;
+    mesh.layout.hasTexcoord = true;
+    float hw = w / 2, hh = h / 2, u = uvScale;
+    Vertex v00 = vert(-hw, -hh, 0, 0, 0);
+    Vertex v10 = vert(hw, -hh, 0, u, 0);
+    Vertex v11 = vert(hw, hh, 0, u, u);
+    Vertex v01 = vert(-hw, hh, 0, 0, u);
+    pushTri(mesh, v00, v10, v11);
+    pushTri(mesh, v00, v11, v01);
+    return mesh;
+}
+
+Mesh
+makeSubdividedQuad(float w, float h, u32 cols, u32 rows, float uvScale)
+{
+    Mesh mesh;
+    mesh.layout.hasTexcoord = true;
+    const float cw = w / cols, ch = h / rows;
+    for (u32 r = 0; r < rows; r++) {
+        for (u32 c = 0; c < cols; c++) {
+            float x0 = -w / 2 + c * cw, y0 = -h / 2 + r * ch;
+            float x1 = x0 + cw, y1 = y0 + ch;
+            float u0 = uvScale * c / cols, v0 = uvScale * r / rows;
+            float u1 = uvScale * (c + 1) / cols;
+            float v1 = uvScale * (r + 1) / rows;
+            Vertex a = vert(x0, y0, 0, u0, v0);
+            Vertex b = vert(x1, y0, 0, u1, v0);
+            Vertex cc = vert(x1, y1, 0, u1, v1);
+            Vertex d = vert(x0, y1, 0, u0, v1);
+            pushTri(mesh, a, b, cc);
+            pushTri(mesh, a, cc, d);
+        }
+    }
+    return mesh;
+}
+
+Mesh
+makeGrid(u32 cols, u32 rows, float cellW, float cellH, u32 atlasCells,
+         Rng &rng)
+{
+    Mesh mesh;
+    mesh.layout.hasTexcoord = true;
+    for (u32 r = 0; r < rows; r++) {
+        for (u32 c = 0; c < cols; c++) {
+            float x0 = c * cellW, y0 = r * cellH;
+            float x1 = x0 + cellW, y1 = y0 + cellH;
+            float u0 = 0, v0 = 0, u1 = 1, v1 = 1;
+            if (atlasCells > 0) {
+                u32 cell = static_cast<u32>(rng.nextBounded(atlasCells));
+                u32 ac = cell % 4, ar = (cell / 4) % 4;
+                u0 = ac * 0.25f;
+                v0 = ar * 0.25f;
+                u1 = u0 + 0.25f;
+                v1 = v0 + 0.25f;
+            }
+            Vertex a = vert(x0, y0, 0, u0, v0);
+            Vertex b = vert(x1, y0, 0, u1, v0);
+            Vertex cc = vert(x1, y1, 0, u1, v1);
+            Vertex d = vert(x0, y1, 0, u0, v1);
+            pushTri(mesh, a, b, cc);
+            pushTri(mesh, a, cc, d);
+        }
+    }
+    return mesh;
+}
+
+Mesh
+makeBox(float sx, float sy, float sz)
+{
+    Mesh mesh;
+    mesh.layout.hasTexcoord = true;
+    mesh.layout.hasNormal = true;
+    float hx = sx / 2, hy = sy / 2, hz = sz / 2;
+
+    struct Face
+    {
+        Vec3 origin, du, dv, n;
+    };
+    const Face faces[6] = {
+        {{-hx, -hy, hz}, {sx, 0, 0}, {0, sy, 0}, {0, 0, 1}},    // front
+        {{hx, -hy, -hz}, {-sx, 0, 0}, {0, sy, 0}, {0, 0, -1}},  // back
+        {{hx, -hy, hz}, {0, 0, -sz}, {0, sy, 0}, {1, 0, 0}},    // right
+        {{-hx, -hy, -hz}, {0, 0, sz}, {0, sy, 0}, {-1, 0, 0}},  // left
+        {{-hx, hy, hz}, {sx, 0, 0}, {0, 0, -sz}, {0, 1, 0}},    // top
+        {{-hx, -hy, -hz}, {sx, 0, 0}, {0, 0, sz}, {0, -1, 0}},  // bottom
+    };
+    for (const Face &f : faces) {
+        Vec3 p00 = f.origin;
+        Vec3 p10 = f.origin + f.du;
+        Vec3 p11 = f.origin + f.du + f.dv;
+        Vec3 p01 = f.origin + f.dv;
+        Vertex a = vert(p00.x, p00.y, p00.z, 0, 0, {1, 1, 1, 1}, f.n);
+        Vertex b = vert(p10.x, p10.y, p10.z, 1, 0, {1, 1, 1, 1}, f.n);
+        Vertex c = vert(p11.x, p11.y, p11.z, 1, 1, {1, 1, 1, 1}, f.n);
+        Vertex d = vert(p01.x, p01.y, p01.z, 0, 1, {1, 1, 1, 1}, f.n);
+        pushTri(mesh, a, b, c);
+        pushTri(mesh, a, c, d);
+    }
+    return mesh;
+}
+
+Mesh
+makeSphere(float radius, u32 slices, u32 stacks)
+{
+    Mesh mesh;
+    mesh.layout.hasTexcoord = true;
+    mesh.layout.hasNormal = true;
+    auto point = [&](u32 sl, u32 st) {
+        float phi = 3.14159265f * st / stacks;       // 0..pi
+        float theta = 6.28318531f * sl / slices;     // 0..2pi
+        Vec3 n{std::sin(phi) * std::cos(theta), std::cos(phi),
+               std::sin(phi) * std::sin(theta)};
+        Vertex v;
+        v.position = n * radius;
+        v.normal = n;
+        v.texcoord = {static_cast<float>(sl) / slices,
+                      static_cast<float>(st) / stacks};
+        return v;
+    };
+    for (u32 st = 0; st < stacks; st++) {
+        for (u32 sl = 0; sl < slices; sl++) {
+            Vertex a = point(sl, st);
+            Vertex b = point(sl + 1, st);
+            Vertex c = point(sl + 1, st + 1);
+            Vertex d = point(sl, st + 1);
+            if (st != 0)
+                pushTri(mesh, a, c, b);
+            if (st + 1 != stacks)
+                pushTri(mesh, a, d, c);
+        }
+    }
+    return mesh;
+}
+
+Mesh
+makeTerrain(u32 cols, u32 rows, float cellSize, float heightAmp, Rng &rng)
+{
+    Mesh mesh;
+    mesh.layout.hasTexcoord = true;
+    mesh.layout.hasNormal = true;
+    // Height field from the shared deterministic RNG.
+    std::vector<float> heights((cols + 1) * (rows + 1));
+    for (auto &h : heights)
+        h = rng.nextFloatRange(-heightAmp, heightAmp);
+    auto at = [&](u32 c, u32 r) {
+        Vertex v;
+        float x = (static_cast<float>(c) - cols / 2.0f) * cellSize;
+        float z = -static_cast<float>(r) * cellSize;
+        v.position = {x, heights[r * (cols + 1) + c], z};
+        v.texcoord = {static_cast<float>(c) / 2.0f,
+                      static_cast<float>(r) / 2.0f};
+        v.normal = {0, 1, 0};
+        return v;
+    };
+    for (u32 r = 0; r < rows; r++) {
+        for (u32 c = 0; c < cols; c++) {
+            Vertex a = at(c, r);
+            Vertex b = at(c + 1, r);
+            Vertex cc = at(c + 1, r + 1);
+            Vertex d = at(c, r + 1);
+            pushTri(mesh, a, cc, b);
+            pushTri(mesh, a, d, cc);
+        }
+    }
+    return mesh;
+}
+
+} // namespace regpu

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Procedural mesh generators for the synthetic workloads: screen-space
+ * quads (2D sprites), grids, boxes, spheres and terrain strips.
+ */
+
+#ifndef REGPU_SCENE_MESH_GEN_HH
+#define REGPU_SCENE_MESH_GEN_HH
+
+#include "common/rng.hh"
+#include "scene/scene.hh"
+
+namespace regpu
+{
+
+/**
+ * Axis-aligned quad in the XY plane, two triangles, CCW winding.
+ * @param w,h size; centred at the origin
+ * @param uvScale texture-coordinate extent
+ */
+Mesh makeQuad(float w, float h, float uvScale = 1.0f);
+
+/**
+ * Quad subdivided into cols x rows cells (centred at the origin,
+ * continuous texture coordinates). Large surfaces - backdrops, skies,
+ * grounds - are meshed this way, as real game content is: it bounds
+ * the number of tiles any single primitive overlaps, which matters to
+ * the Signature Unit's OT-queue behaviour.
+ */
+Mesh makeSubdividedQuad(float w, float h, u32 cols, u32 rows,
+                        float uvScale = 1.0f);
+
+/**
+ * Regular grid of quads in the XY plane (backgrounds, puzzle boards).
+ * @param cols,rows grid dimensions
+ * @param cellW,cellH cell size
+ * @param atlasCells when > 0, each cell maps to a distinct atlas cell
+ *        chosen deterministically from @p rng
+ */
+Mesh makeGrid(u32 cols, u32 rows, float cellW, float cellH,
+              u32 atlasCells, Rng &rng);
+
+/** Unit cube centred at the origin, 12 triangles, per-face normals. */
+Mesh makeBox(float sx, float sy, float sz);
+
+/** UV sphere, CCW winding, per-vertex normals. */
+Mesh makeSphere(float radius, u32 slices, u32 stacks);
+
+/**
+ * Terrain strip: (cols x rows) height-field mesh extending along -Z,
+ * with value-noise heights (endless-runner ground).
+ */
+Mesh makeTerrain(u32 cols, u32 rows, float cellSize, float heightAmp,
+                 Rng &rng);
+
+} // namespace regpu
+
+#endif // REGPU_SCENE_MESH_GEN_HH

@@ -1,0 +1,53 @@
+#include "scene/scene.hh"
+
+#include <algorithm>
+
+namespace regpu
+{
+
+FrameCommands
+Scene::emitFrame(u64 frame) const
+{
+    FrameCommands cmds;
+    cmds.clearColor = clearColor;
+    cmds.globalStateChanged =
+        std::find(stateChangeFrames.begin(), stateChangeFrames.end(),
+                  frame) != stateChangeFrames.end();
+
+    const Mat4 vp = camera.viewProj(frame);
+
+    for (const SceneObject &obj : objects_) {
+        Pose pose = obj.animate ? obj.animate(frame) : Pose{};
+        if (!pose.visible)
+            continue;
+
+        DrawCall draw;
+        draw.layout = obj.mesh.layout;
+        draw.vertices = obj.mesh.vertices;
+        draw.vertexBufferId = obj.vertexBufferId;
+        draw.state.shader = obj.shader;
+        draw.state.textureId = obj.textureId;
+        draw.state.blendMode = obj.blendMode;
+        draw.state.depthTest = obj.depthTest;
+        draw.state.depthWrite = obj.depthWrite;
+
+        Mat4 model = Mat4::translate(pose.position.x, pose.position.y,
+                                     pose.position.z);
+        if (pose.rotationY != 0)
+            model = model * Mat4::rotateY(pose.rotationY);
+        if (pose.rotationZ != 0)
+            model = model * Mat4::rotateZ(pose.rotationZ);
+        if (pose.scale != 1)
+            model = model * Mat4::scale(pose.scale, pose.scale,
+                                        pose.scale);
+        draw.state.uniforms.mvp = vp * model;
+        draw.state.uniforms.tint = pose.tint;
+        draw.state.uniforms.uvOffsetS = pose.uvScroll.x;
+        draw.state.uniforms.uvOffsetT = pose.uvScroll.y;
+
+        cmds.draws.push_back(std::move(draw));
+    }
+    return cmds;
+}
+
+} // namespace regpu

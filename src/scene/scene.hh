@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Scene graph and per-frame command-trace generation.
+ *
+ * A Scene is a list of objects (2D sprites or 3D meshes), a camera and
+ * an animation script. Each frame, the scene emits the FrameCommands
+ * the application would have submitted through OpenGL ES: one drawcall
+ * per object (with its constants), in a stable order.
+ *
+ * Determinism: all randomness is seeded; emitting frame N twice yields
+ * byte-identical drawcalls.
+ */
+
+#ifndef REGPU_SCENE_SCENE_HH
+#define REGPU_SCENE_SCENE_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "gpu/texture.hh"
+#include "gpu/vertex.hh"
+
+namespace regpu
+{
+
+/** Geometry payload of an object (object-space triangle list). */
+struct Mesh
+{
+    std::vector<Vertex> vertices;  //!< triangle list
+    VertexLayout layout;
+
+    u32 triangleCount() const
+    { return static_cast<u32>(vertices.size() / 3); }
+};
+
+/**
+ * Per-frame pose of an object, produced by its animator.
+ */
+struct Pose
+{
+    Vec3 position;
+    float rotationZ = 0;  //!< 2D spin
+    float rotationY = 0;  //!< 3D yaw
+    float scale = 1;
+    Vec4 tint{1, 1, 1, 1};
+    Vec2 uvScroll;
+    bool visible = true;
+};
+
+/**
+ * A scene object: mesh + material + animator.
+ */
+struct SceneObject
+{
+    std::string name;
+    Mesh mesh;
+    ShaderKind shader = ShaderKind::Textured;
+    i32 textureId = -1;
+    BlendMode blendMode = BlendMode::Replace;
+    bool depthTest = true;
+    bool depthWrite = true;
+    u32 vertexBufferId = 0;
+
+    /**
+     * Animator: frame index -> pose. An object whose animator returns
+     * the same pose every frame produces byte-identical drawcalls,
+     * which is what makes its covered tiles' inputs redundant.
+     */
+    std::function<Pose(u64 frame)> animate;
+};
+
+/** Camera: produces the view-projection matrix per frame. */
+struct Camera
+{
+    std::function<Mat4(u64 frame)> viewProj;
+};
+
+/**
+ * The scene: objects + camera + global events.
+ */
+class Scene
+{
+  public:
+    Scene(std::string name, const GpuConfig &config)
+        : name_(std::move(name)), config(config)
+    {
+        // Default: identity ortho camera covering the screen in
+        // pixel units.
+        float w = static_cast<float>(config.screenWidth);
+        float h = static_cast<float>(config.screenHeight);
+        camera.viewProj = [w, h](u64) {
+            return Mat4::ortho(0, w, 0, h, -1, 1);
+        };
+    }
+
+    const std::string &name() const { return name_; }
+
+    /** Register a texture; @return its id. */
+    u32
+    addTexture(Texture tex)
+    {
+        textures_.push_back(std::move(tex));
+        return static_cast<u32>(textures_.size() - 1);
+    }
+
+    /** Add an object; @return its index. */
+    u32
+    addObject(SceneObject obj)
+    {
+        obj.vertexBufferId = static_cast<u32>(objects_.size());
+        objects_.push_back(std::move(obj));
+        return static_cast<u32>(objects_.size() - 1);
+    }
+
+    void setCamera(Camera cam) { camera = std::move(cam); }
+
+    /** Frames on which the app uploads new shaders/textures (disables
+     *  RE for that frame, paper §III-E). */
+    void
+    markGlobalStateChange(u64 frame)
+    {
+        stateChangeFrames.push_back(frame);
+    }
+
+    void setClearColor(Color c) { clearColor = c; }
+
+    /** Emit the command trace for one frame. */
+    FrameCommands emitFrame(u64 frame) const;
+
+    const std::vector<Texture> &textures() const { return textures_; }
+    const std::vector<SceneObject> &objects() const { return objects_; }
+    const GpuConfig &gpuConfig() const { return config; }
+
+  private:
+    std::string name_;
+    const GpuConfig &config;
+    std::vector<Texture> textures_;
+    std::vector<SceneObject> objects_;
+    Camera camera;
+    std::vector<u64> stateChangeFrames;
+    Color clearColor{12, 12, 24, 255};
+};
+
+} // namespace regpu
+
+#endif // REGPU_SCENE_SCENE_HH

@@ -1,0 +1,111 @@
+#include "sim/experiment.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace regpu
+{
+
+ExperimentScale
+ExperimentScale::fromArgs(int argc, char **argv)
+{
+    ExperimentScale s;
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--fast") == 0) {
+            s.screenWidth = 400;
+            s.screenHeight = 256;
+            s.frames = 12;
+        } else if (std::strcmp(argv[i], "--full") == 0) {
+            s.screenWidth = 1196;
+            s.screenHeight = 768;
+            s.frames = 50;
+        } else if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc) {
+            s.frames = std::strtoull(argv[++i], nullptr, 10);
+        }
+    }
+    return s;
+}
+
+std::vector<std::string>
+allAliases()
+{
+    std::vector<std::string> v;
+    for (const auto &b : benchmarkSuite())
+        v.push_back(b.alias);
+    return v;
+}
+
+std::vector<WorkloadResults>
+runSuite(const std::vector<std::string> &aliases,
+         const std::vector<Technique> &techniques,
+         const ExperimentScale &scale, HashKind hashKind)
+{
+    std::vector<WorkloadResults> out;
+    for (const std::string &alias : aliases) {
+        WorkloadResults wr;
+        wr.alias = alias;
+        for (Technique tech : techniques) {
+            GpuConfig config;
+            config.scaleResolution(scale.screenWidth, scale.screenHeight);
+            config.technique = tech;
+            auto scene = makeBenchmark(alias, config);
+            SimOptions opts;
+            opts.frames = scale.frames;
+            opts.hashKind = hashKind;
+            Simulator sim(*scene, config, opts);
+            wr.byTechnique.emplace(tech, sim.run());
+        }
+        out.push_back(std::move(wr));
+    }
+    return out;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0;
+    for (double v : values) {
+        REGPU_ASSERT(v > 0, "geomean needs positive values");
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / values.size());
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0;
+    for (double v : values)
+        sum += v;
+    return sum / values.size();
+}
+
+void
+printTableHeader(const std::string &title,
+                 const std::vector<std::string> &columns)
+{
+    std::printf("\n== %s ==\n", title.c_str());
+    std::printf("%-10s", "workload");
+    for (const auto &c : columns)
+        std::printf(" %12s", c.c_str());
+    std::printf("\n");
+}
+
+void
+printTableRow(const std::string &label, const std::vector<double> &values,
+              int precision)
+{
+    std::printf("%-10s", label.c_str());
+    for (double v : values)
+        std::printf(" %12.*f", precision, v);
+    std::printf("\n");
+}
+
+} // namespace regpu

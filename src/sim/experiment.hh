@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Experiment helpers: run the benchmark suite across techniques and
+ * print paper-style tables (one bench binary per table/figure builds
+ * on these).
+ */
+
+#ifndef REGPU_SIM_EXPERIMENT_HH
+#define REGPU_SIM_EXPERIMENT_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+namespace regpu
+{
+
+/** Scale factors for quick vs paper-fidelity runs. */
+struct ExperimentScale
+{
+    u32 screenWidth = 1196;
+    u32 screenHeight = 768;
+    u64 frames = 30;
+
+    /** Parse from argv: "--fast" shrinks, "--full" uses Table I with
+     *  50 frames (Fig. 2 setting). Default is Table I resolution with
+     *  a 30-frame run. */
+    static ExperimentScale fromArgs(int argc, char **argv);
+};
+
+/** Results of one workload under every requested technique. */
+struct WorkloadResults
+{
+    std::string alias;
+    std::map<Technique, SimResult> byTechnique;
+};
+
+/**
+ * Run @p aliases under each technique in @p techniques with the given
+ * scale. Scenes and seeds are identical across techniques.
+ */
+std::vector<WorkloadResults>
+runSuite(const std::vector<std::string> &aliases,
+         const std::vector<Technique> &techniques,
+         const ExperimentScale &scale,
+         HashKind hashKind = HashKind::Crc32);
+
+/** All ten paper aliases in presentation order. */
+std::vector<std::string> allAliases();
+
+/** Geometric mean helper used in the "AVG" columns. */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean helper. */
+double mean(const std::vector<double> &values);
+
+/** Fixed-width table-cell printing helpers shared by benches. */
+void printTableHeader(const std::string &title,
+                      const std::vector<std::string> &columns);
+void printTableRow(const std::string &label,
+                   const std::vector<double> &values, int precision = 3);
+
+} // namespace regpu
+
+#endif // REGPU_SIM_EXPERIMENT_HH

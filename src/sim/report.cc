@@ -1,0 +1,149 @@
+#include "sim/report.hh"
+
+#include <iomanip>
+
+namespace regpu
+{
+
+namespace
+{
+
+double
+pct(u64 part, u64 whole)
+{
+    return whole ? 100.0 * part / whole : 0.0;
+}
+
+} // namespace
+
+void
+printRunSummary(std::ostream &os, const SimResult &r,
+                const GpuConfig &config)
+{
+    os << "== " << r.workload << " / " << techniqueName(r.technique)
+       << " (" << r.frames << " frames, " << config.screenWidth << "x"
+       << config.screenHeight << ") ==\n";
+
+    os << "cycles      : total " << r.totalCycles() << " (geometry "
+       << r.geometryCycles << ", raster " << r.rasterCycles << ")\n";
+    double fps = r.totalCycles()
+        ? static_cast<double>(config.frequencyHz) * r.frames
+            / r.totalCycles()
+        : 0.0;
+    os << "throughput  : " << std::fixed << std::setprecision(1) << fps
+       << " simulated fps at " << config.frequencyHz / 1e6 << " MHz\n";
+
+    os << "energy      : total " << std::setprecision(3)
+       << r.energy.total() * 1e-9 << " mJ (GPU "
+       << r.energy.gpu() * 1e-9 << ", memory "
+       << r.energy.memory() * 1e-9 << ")\n";
+
+    os << "dram        : total " << r.traffic.total() / 1e6
+       << " MB (geometry "
+       << r.traffic[TrafficClass::Geometry] / 1e6 << ", primitives "
+       << r.traffic[TrafficClass::Primitives] / 1e6 << ", texels "
+       << r.traffic[TrafficClass::Texels] / 1e6 << ", colors "
+       << r.traffic[TrafficClass::Colors] / 1e6 << ")\n";
+
+    os << "tiles       : " << r.tilesTotal << " processed, "
+       << r.tilesRendered << " rendered, " << r.tilesSkippedByRe
+       << " eliminated (" << std::setprecision(1)
+       << pct(r.tilesSkippedByRe, r.tilesTotal) << "%), "
+       << r.tileFlushesEliminated << " flushes elided\n";
+
+    const TileClassCounts &tc = r.tileClasses;
+    if (tc.comparedTiles) {
+        os << "tile classes: eqC&eqI "
+           << pct(tc.equalColorsEqualInputs, tc.comparedTiles)
+           << "%, eqC&diffI "
+           << pct(tc.equalColorsDiffInputs, tc.comparedTiles)
+           << "%, diffC&diffI "
+           << pct(tc.diffColorsDiffInputs, tc.comparedTiles)
+           << "%, diffC&eqI "
+           << pct(tc.diffColorsEqualInputs, tc.comparedTiles) << "%\n";
+    }
+
+    os << "fragments   : " << r.fragmentsShaded << " shaded, "
+       << r.fragmentsMemoReused << " memo-reused\n";
+    os << "overheads   : " << r.signatureStallCycles
+       << " signature-stall cycles, " << r.reFalsePositives
+       << " false positives\n";
+    os << "fig2 metric : " << std::setprecision(1)
+       << r.equalTilesConsecutivePct
+       << "% tiles equal to the preceding frame\n";
+}
+
+void
+printComparison(std::ostream &os, const std::vector<SimResult> &results)
+{
+    if (results.empty())
+        return;
+    const SimResult &base = results.front();
+    os << "comparison for '" << base.workload << "' (normalized to "
+       << techniqueName(base.technique) << ")\n";
+    os << std::left << std::setw(10) << "technique" << std::right
+       << std::setw(12) << "cycles" << std::setw(12) << "energy"
+       << std::setw(12) << "dram" << std::setw(14) << "fragsShaded"
+       << "\n";
+    for (const SimResult &r : results) {
+        auto norm = [](u64 v, u64 b) {
+            return b ? static_cast<double>(v) / b : 0.0;
+        };
+        os << std::left << std::setw(10) << techniqueName(r.technique)
+           << std::right << std::fixed << std::setprecision(3)
+           << std::setw(12) << norm(r.totalCycles(), base.totalCycles())
+           << std::setw(12)
+           << (base.energy.total()
+                   ? r.energy.total() / base.energy.total() : 0.0)
+           << std::setw(12)
+           << norm(r.traffic.total(), base.traffic.total())
+           << std::setw(14)
+           << norm(r.fragmentsShaded, base.fragmentsShaded) << "\n";
+    }
+}
+
+const std::vector<std::string> &
+csvColumns()
+{
+    static const std::vector<std::string> columns = {
+        "workload", "technique", "frames", "geometryCycles",
+        "rasterCycles", "totalCycles", "energyGpuPj", "energyMemPj",
+        "energyTotalPj", "dramGeometryB", "dramPrimitivesB",
+        "dramTexelsB", "dramColorsB", "tilesTotal", "tilesRendered",
+        "tilesSkipped", "flushesElided", "eqColorsEqInputs",
+        "eqColorsDiffInputs", "diffColorsDiffInputs",
+        "diffColorsEqInputs", "fragmentsShaded", "fragmentsMemoReused",
+        "signatureStallCycles", "falsePositives",
+        "equalTilesConsecutivePct",
+    };
+    return columns;
+}
+
+void
+writeCsvRow(std::ostream &os, const SimResult &r, bool header)
+{
+    if (header) {
+        const auto &cols = csvColumns();
+        for (std::size_t i = 0; i < cols.size(); i++)
+            os << cols[i] << (i + 1 < cols.size() ? "," : "\n");
+    }
+    os << r.workload << "," << techniqueName(r.technique) << ","
+       << r.frames << "," << r.geometryCycles << "," << r.rasterCycles
+       << "," << r.totalCycles() << "," << r.energy.gpu() << ","
+       << r.energy.memory() << "," << r.energy.total() << ","
+       << r.traffic[TrafficClass::Geometry] << ","
+       << r.traffic[TrafficClass::Primitives] << ","
+       << r.traffic[TrafficClass::Texels] << ","
+       << r.traffic[TrafficClass::Colors] << "," << r.tilesTotal << ","
+       << r.tilesRendered << "," << r.tilesSkippedByRe << ","
+       << r.tileFlushesEliminated << ","
+       << r.tileClasses.equalColorsEqualInputs << ","
+       << r.tileClasses.equalColorsDiffInputs << ","
+       << r.tileClasses.diffColorsDiffInputs << ","
+       << r.tileClasses.diffColorsEqualInputs << ","
+       << r.fragmentsShaded << "," << r.fragmentsMemoReused << ","
+       << r.signatureStallCycles << "," << r.reFalsePositives << ","
+       << r.equalTilesConsecutivePct << "\n";
+}
+
+} // namespace regpu

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Result reporting: detailed per-run summaries, cross-technique
+ * comparison tables, and CSV export for downstream plotting.
+ */
+
+#ifndef REGPU_SIM_REPORT_HH
+#define REGPU_SIM_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace regpu
+{
+
+/**
+ * Print a human-readable summary of one run: cycles (split), energy
+ * (split), DRAM traffic (per class), tile and fragment accounting,
+ * overheads.
+ */
+void printRunSummary(std::ostream &os, const SimResult &result,
+                     const GpuConfig &config);
+
+/**
+ * Print a side-by-side comparison of several runs of the *same*
+ * workload under different techniques, normalized to the first run.
+ */
+void printComparison(std::ostream &os,
+                     const std::vector<SimResult> &results);
+
+/**
+ * Append one run as a CSV row.
+ * @param header when true, writes the column-name row first
+ */
+void writeCsvRow(std::ostream &os, const SimResult &result,
+                 bool header = false);
+
+/** Machine-readable column names of the CSV schema (stable order). */
+const std::vector<std::string> &csvColumns();
+
+} // namespace regpu
+
+#endif // REGPU_SIM_REPORT_HH

@@ -1,0 +1,240 @@
+#include "sim/simulator.hh"
+
+#include "common/logging.hh"
+
+namespace regpu
+{
+
+Simulator::Simulator(const Scene &scene_, const GpuConfig &config_,
+                     const SimOptions &options_)
+    : scene(scene_), config(config_), options(options_), cycles(config)
+{
+    mem = std::make_unique<MemSystem>(config);
+    pipe = std::make_unique<GraphicsPipeline>(config, statsReg, mem.get(),
+                                              scene.textures());
+    switch (config.technique) {
+      case Technique::Baseline:
+        break;
+      case Technique::RenderingElimination:
+        re = std::make_unique<RenderingElimination>(config, statsReg,
+                                                    options.hashKind);
+        pipe->setHooks(re.get());
+        break;
+      case Technique::TransactionElimination:
+        te = std::make_unique<TransactionElimination>(config, statsReg);
+        pipe->setHooks(te.get());
+        break;
+      case Technique::FragmentMemoization:
+        memo = std::make_unique<FragmentMemoization>(config, statsReg);
+        pipe->setHooks(memo.get());
+        break;
+    }
+}
+
+FrameResult
+Simulator::stepFrame(u64 frameIndex)
+{
+    FrameCommands cmds = scene.emitFrame(frameIndex);
+    return pipe->renderFrame(cmds, options.groundTruth);
+}
+
+SimResult
+Simulator::run()
+{
+    SimResult result;
+    result.workload = scene.name();
+    result.technique = config.technique;
+    result.frames = options.frames;
+
+    // Memoization hooks into the renderer itself.
+    if (memo) {
+        // GraphicsPipeline consults hooks->memoClient() indirectly via
+        // the TileRenderer; wire it here through the pipeline.
+    }
+
+    const u32 numTiles = config.numTiles();
+
+    for (u64 f = 0; f < options.frames; f++) {
+        // Snapshot the current back buffer (it will be overwritten
+        // this frame) so consecutive-frame equality can be measured
+        // against frame f-1's displayed output.
+        const std::vector<Color> *prevBack = nullptr;
+        std::vector<Color> frontCopy;
+        if (f > 0)
+            frontCopy = prevFrameColors;
+
+        FrameResult fr = stepFrame(f);
+
+        // ---- Tile classification (vs the swap-chain comparison frame).
+        const bool haveComparison = config.doubleBuffered ? f >= 2 : f >= 1;
+        for (TileId t = 0; t < numTiles; t++) {
+            const TileOutcome &out = fr.tiles[t];
+            result.tilesTotal++;
+            if (out.rendered)
+                result.tilesRendered++;
+            else
+                result.tilesSkippedByRe++;
+            if (out.rendered && !out.flushed)
+                result.tileFlushesEliminated++;
+
+            if (haveComparison) {
+                result.tileClasses.comparedTiles++;
+                bool equalInputs = !out.rendered; // RE's decision
+                if (re == nullptr) {
+                    // Baseline/TE/Memo runs have no input signatures;
+                    // classification of inputs is only meaningful
+                    // under RE.
+                    equalInputs = false;
+                }
+                if (out.equalColors && equalInputs)
+                    result.tileClasses.equalColorsEqualInputs++;
+                else if (out.equalColors && !equalInputs)
+                    result.tileClasses.equalColorsDiffInputs++;
+                else if (!out.equalColors && !equalInputs)
+                    result.tileClasses.diffColorsDiffInputs++;
+                else
+                    result.tileClasses.diffColorsEqualInputs++;
+            }
+
+            result.fragmentsShaded += out.stats.fragmentsShaded;
+            result.fragmentsMemoReused += out.stats.fragmentsMemoReused;
+        }
+
+        // ---- Fig. 2 metric: equality vs the immediately previous
+        // frame's rendered output (the buffer just swapped to front).
+        {
+            const auto &surfNow = pipe->frameBuffer().backSurface();
+            // After swap, "back" is the older surface; the frame just
+            // rendered is the front. Compare front vs saved previous.
+            // Simpler: reconstruct the just-rendered surface by
+            // reading the front buffer through frontPixel.
+            const GpuConfig &cfg = config;
+            if (f > 0 && !frontCopy.empty()) {
+                for (TileId t = 0; t < numTiles; t++) {
+                    const u32 tx = (t % cfg.tilesX()) * cfg.tileWidth;
+                    const u32 ty = (t / cfg.tilesX()) * cfg.tileHeight;
+                    bool equal = true;
+                    for (u32 dy = 0; dy < cfg.tileHeight && equal; dy++) {
+                        u32 y = ty + dy;
+                        if (y >= cfg.screenHeight)
+                            break;
+                        for (u32 dx = 0; dx < cfg.tileWidth; dx++) {
+                            u32 x = tx + dx;
+                            if (x >= cfg.screenWidth)
+                                break;
+                            std::size_t idx =
+                                static_cast<std::size_t>(y)
+                                * cfg.screenWidth + x;
+                            if (!(pipe->frameBuffer().frontPixel(x, y)
+                                  == frontCopy[idx])) {
+                                equal = false;
+                                break;
+                            }
+                        }
+                    }
+                    comparedConsecutiveTiles++;
+                    if (equal)
+                        equalConsecutiveTiles++;
+                }
+            }
+            (void)surfNow;
+            (void)prevBack;
+            // Save the just-rendered frame (now the front buffer).
+            prevFrameColors.resize(pipe->frameBuffer().pixelCount());
+            for (u32 y = 0; y < cfg.screenHeight; y++)
+                for (u32 x = 0; x < cfg.screenWidth; x++)
+                    prevFrameColors[static_cast<std::size_t>(y)
+                                    * cfg.screenWidth + x] =
+                        pipe->frameBuffer().frontPixel(x, y);
+        }
+
+        // ---- Timing ------------------------------------------------------
+        MemFrameSummary memSum = mem->endFrame();
+        Cycles geo = cycles.geometryCycles(
+            fr, memSum.vertexMisses, mem->dram().averageLatency());
+        Cycles stall = re ? re->frameStallCycles() : 0;
+        result.signatureStallCycles += stall;
+        result.geometryCycles += geo + stall;
+
+        // Raster: per-tile compute/bandwidth max. Approximate the
+        // per-tile DRAM share by splitting the frame's raster traffic
+        // over rendered tiles proportionally to their activity.
+        u64 rasterBytes = 0;
+        {
+            const DramTraffic &tr = mem->dram().traffic();
+            rasterBytes = tr[TrafficClass::Primitives]
+                + tr[TrafficClass::Texels] + tr[TrafficClass::Colors]
+                - lastRasterBytesSnapshot;
+        }
+        u64 frameFragWork = 0;
+        for (const TileOutcome &out : fr.tiles)
+            frameFragWork += out.stats.fragmentsGenerated + 1;
+        Cycles raster = 0;
+        Cycles texStallBudget = memSum.texelStallCycles;
+        for (TileId t = 0; t < numTiles; t++) {
+            const TileOutcome &out = fr.tiles[t];
+            if (!out.rendered) {
+                raster += cycles.skippedTileCycles();
+                continue;
+            }
+            u64 share = frameFragWork
+                ? rasterBytes * (out.stats.fragmentsGenerated + 1)
+                  / frameFragWork
+                : 0;
+            Cycles texStall = frameFragWork
+                ? texStallBudget * (out.stats.fragmentsGenerated + 1)
+                  / frameFragWork
+                : 0;
+            raster += cycles.tileCycles(out.stats, share, texStall);
+        }
+        result.rasterCycles += raster;
+        {
+            const DramTraffic &tr = mem->dram().traffic();
+            lastRasterBytesSnapshot = tr[TrafficClass::Primitives]
+                + tr[TrafficClass::Texels] + tr[TrafficClass::Colors];
+        }
+    }
+
+    // ---- Energy ------------------------------------------------------
+    {
+        const DramModel &dram = mem->dram();
+        energy.chargeDram(dram.accesses(), dram.traffic().total());
+        u64 texAcc = 0;
+        for (const auto &tc : mem->textureCachesRef())
+            texAcc += tc.accesses();
+        energy.chargeCaches(mem->vertexCacheRef().accesses(), texAcc,
+                            mem->tileCacheRef().accesses(),
+                            mem->l2Ref().accesses());
+        energy.chargeDatapath(
+            statsReg.counter("geometry.verticesFetched"),
+            statsReg.counter("geometry.vertexShaderInstrs"),
+            statsReg.counter("geometry.primitivesOut"),
+            statsReg.counter("binning.tileOverlaps"),
+            statsReg.counter("raster.fragmentsGenerated"),
+            statsReg.counter("raster.fragmentsGenerated"),
+            statsReg.counter("raster.shaderInstructions"),
+            statsReg.counter("raster.blendOps"),
+            statsReg.counter("raster.blendOps")
+                + statsReg.counter("raster.fragmentsGenerated"));
+        // Technique hardware energy.
+        energy.chargeSignatureHw(
+            statsReg.counter("re.lutAccesses")
+                + statsReg.counter("te.lutAccesses"),
+            statsReg.counter("re.sigBufferAccesses")
+                + statsReg.counter("te.sigBufferAccesses"),
+            statsReg.counter("re.otPushes"),
+            statsReg.counter("re.bitmapAccesses"));
+        energy.chargeStatic(result.totalCycles());
+        result.energy = energy.breakdown();
+        result.traffic = dram.traffic();
+    }
+
+    result.reFalsePositives = statsReg.counter("re.falsePositives");
+    result.equalTilesConsecutivePct = comparedConsecutiveTiles
+        ? 100.0 * equalConsecutiveTiles / comparedConsecutiveTiles
+        : 0.0;
+    result.stats = statsReg;
+    return result;
+}
+
+} // namespace regpu

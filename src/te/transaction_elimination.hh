@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Transaction Elimination (ARM Mali, modelled per paper §IV-C): after
+ * a tile finishes rendering, its Color Buffer contents are hashed; if
+ * the signature equals the one recorded for the same tile in the
+ * comparison frame (the Back Buffer frame under double buffering), the
+ * flush to the Frame Buffer is elided.
+ *
+ * Per the paper's evaluation methodology, the energy of the Signature
+ * Buffer and Compute CRC unit is charged but the signature computation
+ * is assumed to take zero execution cycles (an idealised TE).
+ */
+
+#ifndef REGPU_TE_TRANSACTION_ELIMINATION_HH
+#define REGPU_TE_TRANSACTION_ELIMINATION_HH
+
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "crc/crc32.hh"
+#include "gpu/pipeline.hh"
+#include "re/signature_buffer.hh"
+
+namespace regpu
+{
+
+/**
+ * PipelineHooks implementation for Transaction Elimination.
+ */
+class TransactionElimination : public PipelineHooks
+{
+  public:
+    TransactionElimination(const GpuConfig &config, StatRegistry &stats)
+        : config(config), stats(stats),
+          buffer(config.numTiles(), config.doubleBuffered ? 3 : 2)
+    {}
+
+    void
+    frameBegin(u64 frameIndex, bool reSafe) override
+    {
+        buffer.rotate();
+        // TE hashes *output* colors, so global-state changes do not
+        // need to disable it; signatures stay valid.
+        buffer.setAllValid(true);
+        lutAccessesThisFrame = 0;
+    }
+
+    bool
+    shouldFlushTile(TileId tile, const std::vector<Color> &colors) override
+    {
+        // Hash the tile's colors (CRC32 over the packed RGBA bytes).
+        std::vector<u8> bytes;
+        bytes.reserve(colors.size() * 4);
+        for (Color c : colors) {
+            u32 p = c.packed();
+            bytes.push_back(static_cast<u8>(p));
+            bytes.push_back(static_cast<u8>(p >> 8));
+            bytes.push_back(static_cast<u8>(p >> 16));
+            bytes.push_back(static_cast<u8>(p >> 24));
+        }
+        u32 sig = crc32Tabular(bytes);
+        // Compute CRC unit energy: 12 LUT reads per 64-bit sub-block.
+        lutAccessesThisFrame += 12ull * ((bytes.size() + 7) / 8);
+
+        // Compare against the recorded signature before overwriting.
+        bool matched = false;
+        bool prevSig = peekComparison(tile, sig, matched);
+        buffer.write(tile, sig);
+
+        stats.inc("te.signatureCompares");
+        if (prevSig && matched) {
+            stats.inc("te.flushesEliminated");
+            return false;
+        }
+        return true;
+    }
+
+    void
+    frameEnd() override
+    {
+        stats.inc("te.lutAccesses", lutAccessesThisFrame);
+        stats.inc("te.sigBufferAccesses", buffer.accesses());
+    }
+
+    SignatureBuffer &signatureBuffer() { return buffer; }
+
+  private:
+    /** Read the comparison slot's signature for @p tile. */
+    bool
+    peekComparison(TileId tile, u32 currentSig, bool &matched)
+    {
+        // SignatureBuffer::compare uses the stored current slot, so
+        // stage the current signature first, then compare.
+        buffer.write(tile, currentSig);
+        return buffer.compare(tile, matched);
+    }
+
+    const GpuConfig &config;
+    StatRegistry &stats;
+    SignatureBuffer buffer;
+    u64 lutAccessesThisFrame = 0;
+};
+
+} // namespace regpu
+
+#endif // REGPU_TE_TRANSACTION_ELIMINATION_HH

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement, used for every
+ * on-chip cache in Table I (vertex, texture x4, tile, L2).
+ *
+ * The model is functional-tagged only (no data payload): it tracks
+ * hits, misses, evictions and the byte traffic handed to the next
+ * level, which is what the timing and energy models consume.
+ */
+
+#ifndef REGPU_TIMING_CACHE_HH
+#define REGPU_TIMING_CACHE_HH
+
+#include <vector>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace regpu
+{
+
+/** Result of one cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    bool writeback = false; //!< a dirty line was evicted
+};
+
+/**
+ * Tag-only set-associative cache with true-LRU replacement and
+ * write-back, write-allocate policy.
+ */
+class CacheModel
+{
+  public:
+    explicit CacheModel(const CacheParams &params)
+        : params_(params),
+          numSets(params.sizeBytes / (params.lineBytes * params.ways)),
+          sets(numSets)
+    {
+        REGPU_ASSERT(numSets > 0, "cache too small: ", params.name);
+        REGPU_ASSERT((numSets & (numSets - 1)) == 0,
+                     "set count must be a power of two: ", params.name);
+        for (auto &set : sets)
+            set.ways.resize(params.ways);
+    }
+
+    /**
+     * Access one address.
+     * @param addr byte address (the whole access is assumed to fit the
+     *             line; multi-line accesses are split by the caller)
+     * @param write true for stores
+     */
+    CacheAccessResult
+    access(Addr addr, bool write)
+    {
+        const Addr line = addr / params_.lineBytes;
+        const u64 setIdx = line & (numSets - 1);
+        const Addr tag = line >> __builtin_ctzll(numSets);
+        Set &set = sets[setIdx];
+        accesses_++;
+        stamp++;
+
+        for (Way &w : set.ways) {
+            if (w.valid && w.tag == tag) {
+                hits_++;
+                w.lastUse = stamp;
+                w.dirty |= write;
+                return {true, false};
+            }
+        }
+
+        // Miss: allocate over the LRU way.
+        misses_++;
+        Way *victim = &set.ways[0];
+        for (Way &w : set.ways) {
+            if (!w.valid) {
+                victim = &w;
+                break;
+            }
+            if (w.lastUse < victim->lastUse)
+                victim = &w;
+        }
+        bool writeback = victim->valid && victim->dirty;
+        if (writeback)
+            writebacks_++;
+        victim->valid = true;
+        victim->tag = tag;
+        victim->dirty = write;
+        victim->lastUse = stamp;
+        return {false, writeback};
+    }
+
+    /** Split an arbitrary [addr, addr+bytes) access into line accesses.
+     *  @return number of missing lines. */
+    u32
+    accessRange(Addr addr, u32 bytes, bool write, u32 *writebacks = nullptr)
+    {
+        u32 missLines = 0;
+        Addr first = addr / params_.lineBytes;
+        Addr last = (addr + (bytes ? bytes - 1 : 0)) / params_.lineBytes;
+        for (Addr line = first; line <= last; line++) {
+            CacheAccessResult r = access(line * params_.lineBytes, write);
+            if (!r.hit)
+                missLines++;
+            if (r.writeback && writebacks)
+                (*writebacks)++;
+        }
+        return missLines;
+    }
+
+    /** Drop all contents (frame-boundary invalidation for the Tile
+     *  Cache whose Parameter Buffer is rebuilt each frame). */
+    void
+    invalidateAll()
+    {
+        for (auto &set : sets)
+            for (auto &w : set.ways)
+                w = Way{};
+    }
+
+    const CacheParams &params() const { return params_; }
+    u64 accesses() const { return accesses_; }
+    u64 hits() const { return hits_; }
+    u64 misses() const { return misses_; }
+    u64 writebacks() const { return writebacks_; }
+
+    void
+    resetStats()
+    {
+        accesses_ = hits_ = misses_ = writebacks_ = 0;
+    }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        u64 lastUse = 0;
+    };
+    struct Set
+    {
+        std::vector<Way> ways;
+    };
+
+    CacheParams params_;
+    u64 numSets;
+    std::vector<Set> sets;
+    u64 stamp = 0;
+    u64 accesses_ = 0;
+    u64 hits_ = 0;
+    u64 misses_ = 0;
+    u64 writebacks_ = 0;
+};
+
+} // namespace regpu
+
+#endif // REGPU_TIMING_CACHE_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Main-memory model: dual-channel LPDDR3 abstraction with the Table I
+ * envelope (4 B/cycle sustained bandwidth, 50-100-cycle latency).
+ *
+ * A full DRAMSim2 replacement is not needed for the paper's effects:
+ * RE's memory-side saving is bandwidth-dominated. The model tracks
+ * per-class byte traffic, charges row-locality-dependent latency
+ * (sequential bursts within an open row pay the minimum latency,
+ * row-switching accesses pay the maximum) and exposes the busy-cycle
+ * count used to bound raster throughput.
+ */
+
+#ifndef REGPU_TIMING_DRAM_HH
+#define REGPU_TIMING_DRAM_HH
+
+#include <array>
+
+#include "common/config.hh"
+#include "gpu/memiface.hh"
+
+namespace regpu
+{
+
+/** Per-traffic-class byte counters (Fig. 15b split). */
+struct DramTraffic
+{
+    u64 bytes[4] = {0, 0, 0, 0};
+
+    u64 &operator[](TrafficClass c) { return bytes[static_cast<u8>(c)]; }
+    u64 operator[](TrafficClass c) const
+    { return bytes[static_cast<u8>(c)]; }
+
+    u64
+    total() const
+    {
+        return bytes[0] + bytes[1] + bytes[2] + bytes[3];
+    }
+};
+
+/**
+ * Bandwidth/latency DRAM model.
+ */
+class DramModel
+{
+  public:
+    explicit DramModel(const GpuConfig &config) : config(config) {}
+
+    /**
+     * One burst of @p bytes at @p addr for traffic class @p cls.
+     * @return the access latency in cycles (for stall accounting)
+     */
+    Cycles
+    access(Addr addr, u32 bytes, TrafficClass cls)
+    {
+        traffic_[cls] += bytes;
+        accesses_++;
+        busy_ += (bytes + config.dramBytesPerCycle - 1)
+            / config.dramBytesPerCycle;
+
+        // Row-locality: same 2 KB row as the last access on this
+        // channel hits the open row.
+        const u32 channel = (addr >> 6) & 1;
+        const Addr row = addr >> 11;
+        Cycles lat;
+        if (openRow[channel] == row) {
+            lat = config.dramMinLatency;
+        } else {
+            lat = config.dramMaxLatency;
+            openRow[channel] = row;
+            rowMisses_++;
+        }
+        latencySum_ += lat;
+        return lat;
+    }
+
+    /** Total cycles the data bus was occupied. */
+    Cycles busyCycles() const { return busy_; }
+    const DramTraffic &traffic() const { return traffic_; }
+    u64 accesses() const { return accesses_; }
+    u64 rowMisses() const { return rowMisses_; }
+
+    /** Average access latency so far. */
+    double
+    averageLatency() const
+    {
+        return accesses_ ? static_cast<double>(latencySum_) / accesses_
+                         : 0.0;
+    }
+
+    void
+    resetStats()
+    {
+        traffic_ = DramTraffic{};
+        busy_ = 0;
+        accesses_ = 0;
+        rowMisses_ = 0;
+        latencySum_ = 0;
+    }
+
+  private:
+    const GpuConfig &config;
+    DramTraffic traffic_;
+    Cycles busy_ = 0;
+    u64 accesses_ = 0;
+    u64 rowMisses_ = 0;
+    u64 latencySum_ = 0;
+    Addr openRow[2] = {~0ull, ~0ull};
+};
+
+} // namespace regpu
+
+#endif // REGPU_TIMING_DRAM_HH

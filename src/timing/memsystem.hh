@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The full memory hierarchy of the baseline GPU (Fig. 4): vertex
+ * cache, four texture caches, tile cache and L2, all backed by the
+ * DRAM model. Implements the MemTraceSink interface the functional
+ * pipeline drives.
+ */
+
+#ifndef REGPU_TIMING_MEMSYSTEM_HH
+#define REGPU_TIMING_MEMSYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "gpu/memiface.hh"
+#include "timing/cache.hh"
+#include "timing/dram.hh"
+
+namespace regpu
+{
+
+/** Aggregate miss/stall summary for one frame (timing model input). */
+struct MemFrameSummary
+{
+    u64 vertexMisses = 0;
+    u64 texelMisses = 0;
+    u64 tileCacheMisses = 0;
+    u64 l2Misses = 0;
+    Cycles texelStallCycles = 0; //!< latency-weighted, MLP-adjusted
+};
+
+/**
+ * Memory hierarchy: per-stream L1s -> shared L2 -> DRAM.
+ *
+ * Color flushes stream through the L2 as non-allocating writes (a
+ * whole tile per flush; the write path is bandwidth-bound). The
+ * Parameter Buffer streams through the Tile Cache on reads and the L2
+ * on writes, matching Fig. 4's port layout.
+ */
+class MemSystem : public MemTraceSink
+{
+  public:
+    explicit MemSystem(const GpuConfig &config)
+        : config(config), dram_(config),
+          vertexCache(config.vertexCache), tileCache(config.tileCache),
+          l2(config.l2Cache)
+    {
+        for (u32 i = 0; i < config.numTextureCaches; i++)
+            textureCaches.emplace_back(config.textureCache);
+    }
+
+    // ---- MemTraceSink interface ----------------------------------------
+
+    void
+    vertexFetch(Addr addr, u32 bytes) override
+    {
+        u32 misses = vertexCache.accessRange(addr, bytes, false);
+        frame.vertexMisses += misses;
+        refill(addr, misses, TrafficClass::Geometry);
+    }
+
+    void
+    parameterWrite(Addr addr, u32 bytes) override
+    {
+        // PLB write-combines into full lines through the L2.
+        u32 wb = 0;
+        u32 misses = l2.accessRange(addr, bytes, true, &wb);
+        // Dirty PB lines eventually reach DRAM; charge them now.
+        (void)misses;
+        dram_.access(addr, bytes, TrafficClass::Geometry);
+    }
+
+    void
+    parameterRead(Addr addr, u32 bytes) override
+    {
+        u32 misses = tileCache.accessRange(addr, bytes, false);
+        frame.tileCacheMisses += misses;
+        for (u32 m = 0; m < misses; m++) {
+            // Tile Cache misses go to DRAM (Parameter Buffer region).
+            dram_.access(addr + m * tileCache.params().lineBytes,
+                         tileCache.params().lineBytes,
+                         TrafficClass::Primitives);
+        }
+    }
+
+    void
+    texelFetch(u32 textureCacheIndex, Addr addr) override
+    {
+        CacheModel &tc = textureCaches[textureCacheIndex
+                                       % textureCaches.size()];
+        CacheAccessResult r = tc.access(addr, false);
+        if (!r.hit) {
+            frame.texelMisses++;
+            // L1 miss -> L2; L2 miss -> DRAM.
+            CacheAccessResult l2r = l2.access(addr, false);
+            if (!l2r.hit) {
+                frame.l2Misses++;
+                Cycles lat = dram_.access(addr, l2.params().lineBytes,
+                                          TrafficClass::Texels);
+                // Four fragment processors keep ~4 misses in flight;
+                // charge the exposed fraction of the latency.
+                frame.texelStallCycles += lat / 4;
+            } else {
+                frame.texelStallCycles += l2.params().hitLatency;
+            }
+        }
+    }
+
+    void
+    colorFlush(Addr addr, u32 bytes) override
+    {
+        dram_.access(addr, bytes, TrafficClass::Colors);
+    }
+
+    void
+    colorRead(Addr addr, u32 bytes) override
+    {
+        dram_.access(addr, bytes, TrafficClass::Colors);
+    }
+
+    // ---- Frame bookkeeping ---------------------------------------------
+
+    /** Snapshot and clear the per-frame summary. */
+    MemFrameSummary
+    endFrame()
+    {
+        MemFrameSummary s = frame;
+        frame = MemFrameSummary{};
+        // The Parameter Buffer is rebuilt from scratch every frame.
+        tileCache.invalidateAll();
+        return s;
+    }
+
+    DramModel &dram() { return dram_; }
+    const DramModel &dram() const { return dram_; }
+    CacheModel &vertexCacheRef() { return vertexCache; }
+    CacheModel &tileCacheRef() { return tileCache; }
+    CacheModel &l2Ref() { return l2; }
+    std::vector<CacheModel> &textureCachesRef() { return textureCaches; }
+
+    /** Total accesses across all on-chip caches (energy model). */
+    u64
+    totalCacheAccesses() const
+    {
+        u64 n = vertexCache.accesses() + tileCache.accesses()
+            + l2.accesses();
+        for (const auto &tc : textureCaches)
+            n += tc.accesses();
+        return n;
+    }
+
+  private:
+    /** Refill @p misses lines from DRAM via the L2. */
+    void
+    refill(Addr addr, u32 misses, TrafficClass cls)
+    {
+        for (u32 m = 0; m < misses; m++) {
+            Addr lineAddr = addr + m * 64;
+            CacheAccessResult l2r = l2.access(lineAddr, false);
+            if (!l2r.hit) {
+                frame.l2Misses++;
+                dram_.access(lineAddr, 64, cls);
+            }
+        }
+    }
+
+    const GpuConfig &config;
+    DramModel dram_;
+    CacheModel vertexCache;
+    std::vector<CacheModel> textureCaches;
+    CacheModel tileCache;
+    CacheModel l2;
+    MemFrameSummary frame;
+};
+
+} // namespace regpu
+
+#endif // REGPU_TIMING_MEMSYSTEM_HH

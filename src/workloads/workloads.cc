@@ -1,0 +1,868 @@
+#include "workloads/workloads.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "scene/mesh_gen.hh"
+
+namespace regpu
+{
+
+namespace
+{
+
+constexpr float pi = 3.14159265f;
+
+/** Static pose at a fixed position. */
+Pose
+staticPose(Vec3 pos, float scale = 1.0f)
+{
+    Pose p;
+    p.position = pos;
+    p.scale = scale;
+    return p;
+}
+
+/** Helper: add a full-screen static background quad. */
+void
+addBackground(Scene &scene, u32 texId, ShaderKind shader,
+              float depth = 0.9f)
+{
+    const GpuConfig &cfg = scene.gpuConfig();
+    SceneObject bg;
+    bg.name = "background";
+    bg.mesh = makeSubdividedQuad(static_cast<float>(cfg.screenWidth),
+                                 static_cast<float>(cfg.screenHeight),
+                                 10, 8, 1.0f);
+    bg.shader = shader;
+    bg.textureId = static_cast<i32>(texId);
+    bg.depthTest = false;
+    bg.depthWrite = false;
+    float cx = cfg.screenWidth / 2.0f;
+    float cy = cfg.screenHeight / 2.0f;
+    bg.animate = [cx, cy, depth](u64) {
+        return staticPose({cx, cy, depth});
+    };
+    scene.addObject(std::move(bg));
+}
+
+/** Helper: pixel-space ortho camera (2D games). */
+void
+useOrthoCamera(Scene &scene)
+{
+    const GpuConfig &cfg = scene.gpuConfig();
+    float w = static_cast<float>(cfg.screenWidth);
+    float h = static_cast<float>(cfg.screenHeight);
+    Camera cam;
+    cam.viewProj = [w, h](u64) {
+        return Mat4::ortho(0, w, 0, h, -1, 1);
+    };
+    scene.setCamera(cam);
+}
+
+// ---------------------------------------------------------------------------
+// 2D, mostly-static-camera class (ccs, cde, ctr, hop): a static board /
+// backdrop fills most of the screen; a few small animated objects touch
+// a minority of tiles.
+// ---------------------------------------------------------------------------
+
+/** Match-3 puzzle: static board grid, few pieces animate in place. */
+std::unique_ptr<Scene>
+makeMatch3(const GpuConfig &config, u64 seed)
+{
+    auto scene = std::make_unique<Scene>("ccs", config);
+    useOrthoCamera(*scene);
+    Rng rng(seed * 0x9e37 + 11);
+
+    u32 bgTex = scene->addTexture(
+        Texture(0, 256, 256, TexturePattern::Gradient, seed));
+    u32 atlasTex = scene->addTexture(
+        Texture(1, 256, 256, TexturePattern::Atlas, seed + 1));
+
+    addBackground(*scene, bgTex, ShaderKind::Textured);
+
+    // Static 8x8 board occupying the screen centre.
+    const float cell = config.screenHeight / 10.0f;
+    SceneObject board;
+    board.name = "board";
+    board.mesh = makeGrid(8, 8, cell, cell, 16, rng);
+    board.shader = ShaderKind::Textured;
+    board.textureId = static_cast<i32>(atlasTex);
+    board.blendMode = BlendMode::AlphaBlend;
+    board.depthTest = false;
+    board.depthWrite = false;
+    float bx = config.screenWidth / 2.0f - 4 * cell;
+    float by = config.screenHeight / 2.0f - 4 * cell;
+    board.animate = [bx, by](u64) { return staticPose({bx, by, 0.5f}); };
+    scene->addObject(std::move(board));
+
+    // Three "selected candy" pieces pulse in place: the only animated
+    // tiles of the frame.
+    for (u32 i = 0; i < 3; i++) {
+        SceneObject piece;
+        piece.name = "piece" + std::to_string(i);
+        piece.mesh = makeQuad(cell, cell, 0.25f);
+        piece.shader = ShaderKind::Textured;
+        piece.textureId = static_cast<i32>(atlasTex);
+        piece.blendMode = BlendMode::AlphaBlend;
+        piece.depthTest = false;
+        piece.depthWrite = false;
+        float px = bx + (1.5f + 2.0f * i) * cell;
+        float py = by + (2.5f + i) * cell;
+        piece.animate = [px, py](u64 frame) {
+            Pose p;
+            p.position = {px, py, 0.2f};
+            p.scale = 1.0f + 0.15f * std::sin(frame * 0.4f);
+            return p;
+        };
+        scene->addObject(std::move(piece));
+    }
+    return scene;
+}
+
+/** Tower defense: static map, a short column of creeps marches. */
+std::unique_ptr<Scene>
+makeTowerDefense(const GpuConfig &config, u64 seed)
+{
+    auto scene = std::make_unique<Scene>("cde", config);
+    useOrthoCamera(*scene);
+    Rng rng(seed * 0x51ab + 5);
+
+    u32 mapTex = scene->addTexture(
+        Texture(0, 256, 256, TexturePattern::Noise, seed + 2));
+    u32 unitTex = scene->addTexture(
+        Texture(1, 128, 128, TexturePattern::Atlas, seed + 3));
+
+    addBackground(*scene, mapTex, ShaderKind::Textured);
+
+    // Static towers.
+    for (u32 i = 0; i < 6; i++) {
+        SceneObject tower;
+        tower.name = "tower" + std::to_string(i);
+        tower.mesh = makeQuad(48, 48, 0.25f);
+        tower.shader = ShaderKind::Textured;
+        tower.textureId = static_cast<i32>(unitTex);
+        tower.blendMode = BlendMode::AlphaBlend;
+        tower.depthTest = false;
+        float tx = config.screenWidth * (0.15f + 0.14f * i);
+        float ty = config.screenHeight * (i % 2 ? 0.3f : 0.7f);
+        tower.animate = [tx, ty](u64) {
+            return staticPose({tx, ty, 0.3f});
+        };
+        scene->addObject(std::move(tower));
+    }
+
+    // Two creeps walking along a fixed lane: a thin animated band.
+    for (u32 i = 0; i < 2; i++) {
+        SceneObject creep;
+        creep.name = "creep" + std::to_string(i);
+        creep.mesh = makeQuad(32, 32, 0.25f);
+        creep.shader = ShaderKind::Textured;
+        creep.textureId = static_cast<i32>(unitTex);
+        creep.blendMode = BlendMode::AlphaBlend;
+        creep.depthTest = false;
+        float lane = config.screenHeight * 0.5f;
+        float speed = 6.0f + 2.0f * i;
+        float w = static_cast<float>(config.screenWidth);
+        creep.animate = [lane, speed, w, i](u64 frame) {
+            Pose p;
+            p.position = {std::fmod(60.0f + frame * speed + i * 200.0f,
+                                    w * 0.8f) + w * 0.1f,
+                          lane, 0.2f};
+            return p;
+        };
+        scene->addObject(std::move(creep));
+    }
+    return scene;
+}
+
+/** Physics puzzle (rope-cutting class): static playfield, one swinging
+ *  object, plus geometry animating *behind* an opaque foreground panel
+ *  (a false-negative source: inputs change, colors do not). */
+std::unique_ptr<Scene>
+makeRopePuzzle(const GpuConfig &config, u64 seed)
+{
+    auto scene = std::make_unique<Scene>("ctr", config);
+    useOrthoCamera(*scene);
+
+    u32 bgTex = scene->addTexture(
+        Texture(0, 256, 256, TexturePattern::Checker, seed + 4));
+    u32 spriteTex = scene->addTexture(
+        Texture(1, 128, 128, TexturePattern::Atlas, seed + 5));
+    u32 panelTex = scene->addTexture(
+        Texture(2, 64, 64, TexturePattern::Solid, seed + 6));
+
+    addBackground(*scene, bgTex, ShaderKind::Textured);
+
+    // Swinging candy on a rope (small animated region).
+    SceneObject candy;
+    candy.name = "candy";
+    candy.mesh = makeQuad(56, 56, 0.25f);
+    candy.shader = ShaderKind::Textured;
+    candy.textureId = static_cast<i32>(spriteTex);
+    candy.blendMode = BlendMode::AlphaBlend;
+    candy.depthTest = false;
+    float cx = config.screenWidth * 0.5f;
+    float cy = config.screenHeight * 0.65f;
+    candy.animate = [cx, cy](u64 frame) {
+        Pose p;
+        float ang = 0.5f * std::sin(frame * 0.25f);
+        p.position = {cx + 140.0f * std::sin(ang),
+                      cy - 140.0f * std::cos(ang), 0.2f};
+        p.rotationZ = ang;
+        return p;
+    };
+    scene->addObject(std::move(candy));
+
+    // Occluded animator: spins every frame *behind* the opaque panel
+    // drawn after it (painter's order: panel drawn later overwrites).
+    SceneObject hidden;
+    hidden.name = "hiddenSpinner";
+    hidden.mesh = makeQuad(80, 80, 0.25f);
+    hidden.shader = ShaderKind::Textured;
+    hidden.textureId = static_cast<i32>(spriteTex);
+    hidden.depthTest = false;
+    float hx = config.screenWidth * 0.82f;
+    float hy = config.screenHeight * 0.2f;
+    hidden.animate = [hx, hy](u64 frame) {
+        Pose p;
+        p.position = {hx, hy, 0.4f};
+        p.rotationZ = frame * 0.3f;
+        return p;
+    };
+    scene->addObject(std::move(hidden));
+
+    SceneObject panel;
+    panel.name = "hudPanel";
+    panel.mesh = makeQuad(140, 140, 1.0f);
+    panel.shader = ShaderKind::Textured;
+    panel.textureId = static_cast<i32>(panelTex);
+    panel.depthTest = false;
+    panel.animate = [hx, hy](u64) { return staticPose({hx, hy, 0.1f}); };
+    scene->addObject(std::move(panel));
+
+    return scene;
+}
+
+/** Survival horror, static camera, dark scene with large plain-black
+ *  regions: the paper notes this workload renders "a large portion of
+ *  the screen with a small number of repeated fragments, most of them
+ *  completely black". */
+std::unique_ptr<Scene>
+makeHorror(const GpuConfig &config, u64 seed)
+{
+    auto scene = std::make_unique<Scene>("hop", config);
+    useOrthoCamera(*scene);
+    scene->setClearColor({0, 0, 0, 255});
+
+    u32 darkTex = scene->addTexture(
+        Texture(0, 256, 256, TexturePattern::Solid, seed + 900));
+    u32 heroTex = scene->addTexture(
+        Texture(1, 128, 128, TexturePattern::Atlas, seed + 7));
+
+    // A dim corridor strip across the middle; everything else stays
+    // the clear color (plain black tiles - trivial fragments).
+    SceneObject corridor;
+    corridor.name = "corridor";
+    corridor.mesh = makeSubdividedQuad(
+        static_cast<float>(config.screenWidth),
+        config.screenHeight * 0.3f, 10, 3, 2.0f);
+    corridor.shader = ShaderKind::Textured;
+    corridor.textureId = static_cast<i32>(darkTex);
+    corridor.depthTest = false;
+    float mx = config.screenWidth / 2.0f;
+    float my = config.screenHeight / 2.0f;
+    corridor.animate = [mx, my](u64) { return staticPose({mx, my, 0.5f}); };
+    scene->addObject(std::move(corridor));
+
+    // The survivor bobbing slightly: a small animated region.
+    SceneObject hero;
+    hero.name = "hero";
+    hero.mesh = makeQuad(48, 64, 0.25f);
+    hero.shader = ShaderKind::Textured;
+    hero.textureId = static_cast<i32>(heroTex);
+    hero.blendMode = BlendMode::AlphaBlend;
+    hero.depthTest = false;
+    hero.animate = [mx, my](u64 frame) {
+        Pose p;
+        p.position = {mx * 0.6f, my + 3.0f * std::sin(frame * 0.5f), 0.2f};
+        return p;
+    };
+    scene->addObject(std::move(hero));
+
+    return scene;
+}
+
+// ---------------------------------------------------------------------------
+// 3D workloads.
+// ---------------------------------------------------------------------------
+
+/** MMO strategy village: 3D-projected static buildings, slow ambient
+ *  animation on a couple of objects; camera static most of the time. */
+std::unique_ptr<Scene>
+makeStrategyVillage(const GpuConfig &config, u64 seed)
+{
+    auto scene = std::make_unique<Scene>("coc", config);
+    Rng rng(seed * 0x77ff + 3);
+
+    u32 groundTex = scene->addTexture(
+        Texture(0, 256, 256, TexturePattern::Noise, seed + 8));
+    u32 wallTex = scene->addTexture(
+        Texture(1, 128, 128, TexturePattern::Checker, seed + 9));
+
+    // Fixed isometric-style camera.
+    float aspect = static_cast<float>(config.screenWidth)
+        / config.screenHeight;
+    Camera cam;
+    cam.viewProj = [aspect](u64) {
+        Mat4 proj = Mat4::perspective(pi / 4, aspect, 0.5f, 100.0f);
+        Mat4 view = Mat4::lookAt({8, 10, 12}, {0, 0, 0}, {0, 1, 0});
+        return proj * view;
+    };
+    scene->setCamera(cam);
+
+    // Ground plane.
+    SceneObject ground;
+    ground.name = "ground";
+    ground.mesh = makeSubdividedQuad(40, 40, 8, 8, 8.0f);
+    ground.shader = ShaderKind::Textured;
+    ground.textureId = static_cast<i32>(groundTex);
+    ground.animate = [](u64) {
+        Pose p;
+        p.position = {0, 0, 0};
+        return p;
+    };
+    // Rotate the ground quad into the XZ plane by baking positions.
+    for (auto &v : ground.mesh.vertices) {
+        float y = v.position.y;
+        v.position.y = -0.01f;
+        v.position.z = y;
+        v.normal = {0, 1, 0};
+    }
+    scene->addObject(std::move(ground));
+
+    // Static buildings.
+    for (u32 i = 0; i < 9; i++) {
+        SceneObject hut;
+        hut.name = "hut" + std::to_string(i);
+        hut.mesh = makeBox(1.6f, 1.2f + 0.3f * (i % 3), 1.6f);
+        hut.shader = ShaderKind::TexLit;
+        hut.textureId = static_cast<i32>(wallTex);
+        float hx = -6.0f + 4.0f * (i % 3) + rng.nextFloatRange(-1, 1);
+        float hz = -6.0f + 4.0f * (i / 3) + rng.nextFloatRange(-1, 1);
+        hut.animate = [hx, hz](u64) {
+            Pose p;
+            p.position = {hx, 0.6f, hz};
+            return p;
+        };
+        scene->addObject(std::move(hut));
+    }
+
+    // One villager circles a hut; one flag waves (scale pulse).
+    SceneObject villager;
+    villager.name = "villager";
+    villager.mesh = makeBox(0.4f, 0.8f, 0.4f);
+    villager.shader = ShaderKind::TexLit;
+    villager.textureId = static_cast<i32>(wallTex);
+    villager.animate = [](u64 frame) {
+        Pose p;
+        float a = frame * 0.12f;
+        p.position = {2.0f + 1.5f * std::cos(a), 0.4f,
+                      2.0f + 1.5f * std::sin(a)};
+        return p;
+    };
+    scene->addObject(std::move(villager));
+
+    return scene;
+}
+
+/** First-person shooter: continuous camera motion, everything moves
+ *  on screen every frame -> essentially no redundant tiles. */
+std::unique_ptr<Scene>
+makeShooter(const GpuConfig &config, u64 seed)
+{
+    auto scene = std::make_unique<Scene>("mst", config);
+    Rng rng(seed * 0xdead + 17);
+
+    u32 groundTex = scene->addTexture(
+        Texture(0, 256, 256, TexturePattern::Noise, seed + 10));
+    u32 crateTex = scene->addTexture(
+        Texture(1, 128, 128, TexturePattern::Checker, seed + 11));
+    u32 skyTex = scene->addTexture(
+        Texture(2, 256, 256, TexturePattern::Gradient, seed + 12));
+
+    float aspect = static_cast<float>(config.screenWidth)
+        / config.screenHeight;
+    // The player strafes and turns continuously.
+    Camera cam;
+    cam.viewProj = [aspect](u64 frame) {
+        Mat4 proj = Mat4::perspective(pi / 3, aspect, 0.3f, 200.0f);
+        float t = frame * 0.15f;
+        Vec3 eye{4.0f * std::sin(t * 0.7f), 1.7f, -0.8f * frame};
+        Vec3 look = eye + Vec3{std::sin(t * 0.4f), -0.05f, -1.0f};
+        Mat4 view = Mat4::lookAt(eye, look, {0, 1, 0});
+        return proj * view;
+    };
+    scene->setCamera(cam);
+
+    // Sky quad glued to the camera far plane region (still moves in
+    // clip space because the camera turns).
+    SceneObject sky;
+    sky.name = "sky";
+    sky.mesh = makeSubdividedQuad(400, 200, 8, 4, 1.0f);
+    sky.shader = ShaderKind::Textured;
+    sky.textureId = static_cast<i32>(skyTex);
+    sky.depthWrite = false;
+    sky.animate = [](u64 frame) {
+        Pose p;
+        p.position = {0, 40, -0.8f * frame - 150.0f};
+        return p;
+    };
+    scene->addObject(std::move(sky));
+
+    // Corridor of crates the player flies past.
+    for (u32 i = 0; i < 30; i++) {
+        SceneObject crate;
+        crate.name = "crate" + std::to_string(i);
+        crate.mesh = makeBox(2, 2, 2);
+        crate.shader = ShaderKind::TexLit;
+        crate.textureId = static_cast<i32>(crateTex);
+        float cx = (i % 2 ? 6.0f : -6.0f) + rng.nextFloatRange(-1, 1);
+        float cz = -6.0f * i;
+        crate.animate = [cx, cz](u64) {
+            Pose p;
+            p.position = {cx, 1.0f, cz};
+            return p;
+        };
+        scene->addObject(std::move(crate));
+    }
+
+    // Long ground strip.
+    SceneObject ground;
+    ground.name = "ground";
+    ground.mesh = makeTerrain(12, 80, 4.0f, 0.0f, rng);
+    ground.shader = ShaderKind::Textured;
+    ground.textureId = static_cast<i32>(groundTex);
+    ground.animate = [](u64) {
+        Pose p;
+        p.position = {0, 0, 20};
+        return p;
+    };
+    scene->addObject(std::move(ground));
+
+    return scene;
+}
+
+/** Arcade slingshot: phases of aiming (static) and flight (panning),
+ *  mixing the two behaviours the paper's third class shows. */
+std::unique_ptr<Scene>
+makeSlingshot(const GpuConfig &config, u64 seed)
+{
+    auto scene = std::make_unique<Scene>("abi", config);
+    Rng rng(seed * 0xabcd + 23);
+
+    u32 skyTex = scene->addTexture(
+        Texture(0, 256, 256, TexturePattern::Gradient, seed + 13));
+    u32 groundTex = scene->addTexture(
+        Texture(1, 256, 256, TexturePattern::Noise, seed + 14));
+    u32 birdTex = scene->addTexture(
+        Texture(2, 128, 128, TexturePattern::Atlas, seed + 15));
+
+    // 2D side-scroller camera: static during aim (frames 0-11 of each
+    // 30-frame volley), pans during flight (12-29).
+    float w = static_cast<float>(config.screenWidth);
+    float h = static_cast<float>(config.screenHeight);
+    Camera cam;
+    cam.viewProj = [w, h](u64 frame) {
+        u64 phase = frame % 30;
+        float panX = 0;
+        if (phase >= 12)
+            panX = (phase - 11) * w * 0.03f;
+        return Mat4::ortho(panX, panX + w, 0, h, -1, 1);
+    };
+    scene->setCamera(cam);
+
+    // Sky and ground strips spanning three screens.
+    SceneObject sky;
+    sky.name = "sky";
+    sky.mesh = makeSubdividedQuad(3 * w, h * 0.7f, 18, 5, 3.0f);
+    sky.shader = ShaderKind::Textured;
+    sky.textureId = static_cast<i32>(skyTex);
+    sky.depthTest = false;
+    sky.animate = [w, h](u64) {
+        return staticPose({1.5f * w, 0.65f * h, 0.9f});
+    };
+    scene->addObject(std::move(sky));
+
+    SceneObject ground;
+    ground.name = "ground";
+    ground.mesh = makeSubdividedQuad(3 * w, h * 0.3f, 18, 3, 4.0f);
+    ground.shader = ShaderKind::Textured;
+    ground.textureId = static_cast<i32>(groundTex);
+    ground.depthTest = false;
+    ground.animate = [w, h](u64) {
+        return staticPose({1.5f * w, 0.15f * h, 0.8f});
+    };
+    scene->addObject(std::move(ground));
+
+    // Target stack at the far end.
+    for (u32 i = 0; i < 5; i++) {
+        SceneObject block;
+        block.name = "block" + std::to_string(i);
+        block.mesh = makeQuad(40, 40, 0.25f);
+        block.shader = ShaderKind::Textured;
+        block.textureId = static_cast<i32>(birdTex);
+        block.depthTest = false;
+        float bx = 2.4f * w + (i % 2) * 44.0f;
+        float by = 0.3f * h + (i / 2) * 44.0f;
+        block.animate = [bx, by](u64) {
+            return staticPose({bx, by, 0.3f});
+        };
+        scene->addObject(std::move(block));
+    }
+
+    // The projectile: parked while aiming, flying across during pan.
+    SceneObject bird;
+    bird.name = "bird";
+    bird.mesh = makeQuad(36, 36, 0.25f);
+    bird.shader = ShaderKind::Textured;
+    bird.textureId = static_cast<i32>(birdTex);
+    bird.blendMode = BlendMode::AlphaBlend;
+    bird.depthTest = false;
+    bird.animate = [w, h](u64 frame) {
+        Pose p;
+        u64 phase = frame % 30;
+        if (phase < 12) {
+            p.position = {0.15f * w, 0.35f * h, 0.2f};
+            p.scale = 1.0f + 0.05f * (phase % 3); // aim wobble
+        } else {
+            float t = (phase - 12) / 18.0f;
+            p.position = {0.15f * w + t * 2.2f * w,
+                          0.35f * h + 0.5f * h * std::sin(t * pi), 0.2f};
+            p.rotationZ = t * 4.0f;
+        }
+        return p;
+    };
+    scene->addObject(std::move(bird));
+
+    return scene;
+}
+
+/** Snowboard arcade: downhill camera with calm stretches. */
+std::unique_ptr<Scene>
+makeSnowboard(const GpuConfig &config, u64 seed)
+{
+    auto scene = std::make_unique<Scene>("csn", config);
+    Rng rng(seed * 0x5117 + 31);
+
+    u32 snowTex = scene->addTexture(
+        Texture(0, 256, 256, TexturePattern::Solid, seed + 16));
+    u32 treeTex = scene->addTexture(
+        Texture(1, 128, 128, TexturePattern::Noise, seed + 17));
+
+    float aspect = static_cast<float>(config.screenWidth)
+        / config.screenHeight;
+    // Alternates: 18 frames gliding straight (scene nearly static in
+    // view space because the slope is uniform), 12 frames carving.
+    Camera cam;
+    cam.viewProj = [aspect](u64 frame) {
+        Mat4 proj = Mat4::perspective(pi / 3.2f, aspect, 0.4f, 120.0f);
+        u64 phase = frame % 30;
+        float speed = phase < 18 ? 0.0f : 1.2f;
+        float z = -speed * (phase < 18 ? 0 : (phase - 18));
+        float x = phase < 18 ? 0.0f : 1.5f * std::sin((phase - 18) * 0.3f);
+        Mat4 view = Mat4::lookAt({x, 2.2f, 4.0f + z},
+                                 {x * 0.5f, 0.8f, z - 6.0f}, {0, 1, 0});
+        return proj * view;
+    };
+    scene->setCamera(cam);
+
+    // Uniform snow field (solid texture: plain-color false-negative
+    // source under camera pan).
+    SceneObject slope;
+    slope.name = "slope";
+    slope.mesh = makeTerrain(16, 40, 3.0f, 0.0f, rng);
+    slope.shader = ShaderKind::Textured;
+    slope.textureId = static_cast<i32>(snowTex);
+    slope.animate = [](u64) {
+        Pose p;
+        p.position = {0, 0, 10};
+        return p;
+    };
+    scene->addObject(std::move(slope));
+
+    // Sparse trees.
+    for (u32 i = 0; i < 10; i++) {
+        SceneObject tree;
+        tree.name = "tree" + std::to_string(i);
+        tree.mesh = makeBox(0.8f, 2.4f, 0.8f);
+        tree.shader = ShaderKind::TexLit;
+        tree.textureId = static_cast<i32>(treeTex);
+        float tx = rng.nextFloatRange(-12, 12);
+        float tz = -4.0f * i - 6.0f;
+        tree.animate = [tx, tz](u64) {
+            Pose p;
+            p.position = {tx, 1.2f, tz};
+            return p;
+        };
+        scene->addObject(std::move(tree));
+    }
+
+    // The rider bobs in view.
+    SceneObject rider;
+    rider.name = "rider";
+    rider.mesh = makeBox(0.5f, 1.0f, 0.5f);
+    rider.shader = ShaderKind::TexLit;
+    rider.textureId = static_cast<i32>(treeTex);
+    rider.animate = [](u64 frame) {
+        Pose p;
+        u64 phase = frame % 30;
+        float x = phase < 18 ? 0.0f : 1.5f * std::sin((phase - 18) * 0.3f);
+        float z = phase < 18 ? 0.0f : -1.2f * (phase - 18);
+        p.position = {x, 0.9f + 0.05f * std::sin(frame * 0.7f),
+                      z - 1.5f};
+        return p;
+    };
+    scene->addObject(std::move(rider));
+
+    return scene;
+}
+
+/** Endless runner: forward motion with brief station stops. */
+std::unique_ptr<Scene>
+makeRunner(const GpuConfig &config, u64 seed)
+{
+    auto scene = std::make_unique<Scene>("ter", config);
+    Rng rng(seed * 0x60d + 41);
+
+    u32 stoneTex = scene->addTexture(
+        Texture(0, 256, 256, TexturePattern::Checker, seed + 18));
+    u32 wallTex = scene->addTexture(
+        Texture(1, 256, 256, TexturePattern::Noise, seed + 19));
+    u32 runnerTex = scene->addTexture(
+        Texture(2, 128, 128, TexturePattern::Atlas, seed + 20));
+
+    float aspect = static_cast<float>(config.screenWidth)
+        / config.screenHeight;
+    // Runs 22 frames of every 30; pauses 8 (collect/turn animation).
+    Camera cam;
+    cam.viewProj = [aspect](u64 frame) {
+        Mat4 proj = Mat4::perspective(pi / 3, aspect, 0.4f, 150.0f);
+        u64 cycle = frame / 30, phase = frame % 30;
+        float base = -26.4f * cycle; // 22 frames * 1.2 units
+        float z = phase < 22 ? base - 1.2f * phase : base - 26.4f;
+        Mat4 view = Mat4::lookAt({0, 2.4f, 5.0f + z},
+                                 {0, 1.0f, z - 8.0f}, {0, 1, 0});
+        return proj * view;
+    };
+    scene->setCamera(cam);
+
+    // Path and flanking walls.
+    SceneObject path;
+    path.name = "path";
+    path.mesh = makeTerrain(6, 120, 2.0f, 0.0f, rng);
+    path.shader = ShaderKind::Textured;
+    path.textureId = static_cast<i32>(stoneTex);
+    path.animate = [](u64) {
+        Pose p;
+        p.position = {0, 0, 10};
+        return p;
+    };
+    scene->addObject(std::move(path));
+
+    for (u32 side = 0; side < 2; side++) {
+        for (u32 i = 0; i < 24; i++) {
+            SceneObject wall;
+            wall.name = "wall" + std::to_string(side * 24 + i);
+            wall.mesh = makeBox(1.0f, 3.0f, 8.0f);
+            wall.shader = ShaderKind::TexLit;
+            wall.textureId = static_cast<i32>(wallTex);
+            float wx = side ? 4.5f : -4.5f;
+            float wz = -9.0f * i;
+            wall.animate = [wx, wz](u64) {
+                Pose p;
+                p.position = {wx, 1.5f, wz};
+                return p;
+            };
+            scene->addObject(std::move(wall));
+        }
+    }
+
+    // The runner, always centre-screen.
+    SceneObject runner;
+    runner.name = "runner";
+    runner.mesh = makeBox(0.5f, 1.1f, 0.5f);
+    runner.shader = ShaderKind::TexLit;
+    runner.textureId = static_cast<i32>(runnerTex);
+    runner.animate = [](u64 frame) {
+        Pose p;
+        u64 cycle = frame / 30, phase = frame % 30;
+        float base = -26.4f * cycle;
+        float z = phase < 22 ? base - 1.2f * phase : base - 26.4f;
+        p.position = {0, 0.8f + 0.12f * std::sin(frame * 0.9f), z - 3.0f};
+        return p;
+    };
+    scene->addObject(std::move(runner));
+
+    return scene;
+}
+
+/** Physics ball puzzle: mostly static table, ball rolls episodically. */
+std::unique_ptr<Scene>
+makeBallPuzzle(const GpuConfig &config, u64 seed)
+{
+    auto scene = std::make_unique<Scene>("tib", config);
+    Rng rng(seed * 0x71b3 + 47);
+
+    u32 feltTex = scene->addTexture(
+        Texture(0, 256, 256, TexturePattern::Noise, seed + 21));
+    u32 ballTex = scene->addTexture(
+        Texture(1, 128, 128, TexturePattern::Checker, seed + 22));
+
+    float aspect = static_cast<float>(config.screenWidth)
+        / config.screenHeight;
+    Camera cam;
+    cam.viewProj = [aspect](u64) {
+        Mat4 proj = Mat4::perspective(pi / 4, aspect, 0.5f, 60.0f);
+        Mat4 view = Mat4::lookAt({0, 9, 9}, {0, 0, 0}, {0, 1, 0});
+        return proj * view;
+    };
+    scene->setCamera(cam);
+
+    // Table.
+    SceneObject table;
+    table.name = "table";
+    table.mesh = makeSubdividedQuad(22, 16, 8, 6, 4.0f);
+    table.shader = ShaderKind::Textured;
+    table.textureId = static_cast<i32>(feltTex);
+    for (auto &v : table.mesh.vertices) {
+        float y = v.position.y;
+        v.position.y = 0;
+        v.position.z = y;
+        v.normal = {0, 1, 0};
+    }
+    table.animate = [](u64) {
+        Pose p;
+        p.position = {0, 0, 0};
+        return p;
+    };
+    scene->addObject(std::move(table));
+
+    // Static obstacles.
+    for (u32 i = 0; i < 6; i++) {
+        SceneObject block;
+        block.name = "obst" + std::to_string(i);
+        block.mesh = makeBox(1.2f, 0.8f, 1.2f);
+        block.shader = ShaderKind::TexLit;
+        block.textureId = static_cast<i32>(ballTex);
+        float bx = -6.0f + 2.5f * i;
+        float bz = (i % 2) ? 2.5f : -2.5f;
+        block.animate = [bx, bz](u64) {
+            Pose p;
+            p.position = {bx, 0.4f, bz};
+            return p;
+        };
+        scene->addObject(std::move(block));
+    }
+
+    // The ball: rolls for 14 frames of each 40, rests otherwise.
+    SceneObject ball;
+    ball.name = "ball";
+    ball.mesh = makeSphere(0.7f, 12, 8);
+    ball.shader = ShaderKind::TexLit;
+    ball.textureId = static_cast<i32>(ballTex);
+    ball.animate = [](u64 frame) {
+        Pose p;
+        u64 cycle = frame / 40, phase = frame % 40;
+        float restX = -7.0f + 2.0f * (cycle % 7);
+        if (phase < 14) {
+            float t = phase / 14.0f;
+            p.position = {restX + 2.0f * t, 0.7f,
+                          4.0f - 8.0f * t};
+            p.rotationZ = t * 6.0f;
+        } else {
+            p.position = {restX + 2.0f, 0.7f, -4.0f};
+            p.rotationZ = 6.0f;
+        }
+        return p;
+    };
+    scene->addObject(std::move(ball));
+
+    return scene;
+}
+
+} // namespace
+
+const std::vector<BenchmarkInfo> &
+benchmarkSuite()
+{
+    static const std::vector<BenchmarkInfo> suite = {
+        {"ccs", "match-3 puzzle board", "Puzzle", false},
+        {"cde", "tower defense map", "Tower Defense", false},
+        {"coc", "strategy village", "MMO Strategy", true},
+        {"ctr", "rope-cut physics puzzle", "Puzzle", false},
+        {"hop", "survival horror corridor", "Survival Horror", false},
+        {"mst", "first-person shooter", "FPS", true},
+        {"abi", "slingshot arcade", "Arcade", false},
+        {"csn", "snowboard downhill", "Arcade", true},
+        {"ter", "endless runner", "Platform", true},
+        {"tib", "physics ball puzzle", "Physics Puzzle", true},
+    };
+    return suite;
+}
+
+std::unique_ptr<Scene>
+makeBenchmark(const std::string &alias, const GpuConfig &config, u64 seed)
+{
+    if (alias == "ccs")
+        return makeMatch3(config, seed);
+    if (alias == "cde")
+        return makeTowerDefense(config, seed);
+    if (alias == "coc")
+        return makeStrategyVillage(config, seed);
+    if (alias == "ctr")
+        return makeRopePuzzle(config, seed);
+    if (alias == "hop")
+        return makeHorror(config, seed);
+    if (alias == "mst")
+        return makeShooter(config, seed);
+    if (alias == "abi")
+        return makeSlingshot(config, seed);
+    if (alias == "csn")
+        return makeSnowboard(config, seed);
+    if (alias == "ter")
+        return makeRunner(config, seed);
+    if (alias == "tib")
+        return makeBallPuzzle(config, seed);
+    fatal("unknown benchmark alias: ", alias);
+}
+
+std::unique_ptr<Scene>
+makeDesktopScene(const GpuConfig &config, u64 seed)
+{
+    auto scene = std::make_unique<Scene>("desktop", config);
+    useOrthoCamera(*scene);
+    u32 wallTex = scene->addTexture(
+        Texture(0, 256, 256, TexturePattern::Gradient, seed + 100));
+    u32 iconTex = scene->addTexture(
+        Texture(1, 128, 128, TexturePattern::Atlas, seed + 101));
+    addBackground(*scene, wallTex, ShaderKind::Textured);
+    for (u32 i = 0; i < 12; i++) {
+        SceneObject icon;
+        icon.name = "icon" + std::to_string(i);
+        icon.mesh = makeQuad(64, 64, 0.25f);
+        icon.shader = ShaderKind::Textured;
+        icon.textureId = static_cast<i32>(iconTex);
+        icon.blendMode = BlendMode::AlphaBlend;
+        icon.depthTest = false;
+        float ix = config.screenWidth * (0.15f + 0.18f * (i % 4));
+        float iy = config.screenHeight * (0.25f + 0.22f * (i / 4));
+        icon.animate = [ix, iy](u64) {
+            return staticPose({ix, iy, 0.2f});
+        };
+        scene->addObject(std::move(icon));
+    }
+    return scene;
+}
+
+} // namespace regpu

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The benchmark suite of Table II as synthetic scenes.
+ *
+ * We cannot ship traces of the commercial games, so each benchmark is
+ * a deterministic synthetic scene engineered to reproduce the
+ * *workload properties* RE is sensitive to:
+ *
+ *  - coherence class (Fig. 2 / Fig. 15a): fraction of tiles whose
+ *    inputs repeat frame-to-frame, governed by how much of the screen
+ *    is covered by static versus animated geometry and by camera
+ *    dynamics;
+ *  - false-negative sources: geometry animating behind opaque covers
+ *    (z-culled, so colors repeat while inputs change) and plain-color
+ *    regions under panning (uv scroll over solid texture areas);
+ *  - scene complexity: drawcall / triangle / texture volume in the
+ *    ballpark of each genre (2D puzzle boards vs full-3D shooters).
+ *
+ * Class assignment follows the paper:
+ *   ccs cde coc ctr hop -> mostly-static camera, >90% redundant tiles
+ *   mst                 -> continuous camera motion, ~no redundancy
+ *   abi csn ter tib     -> mixed phases
+ */
+
+#ifndef REGPU_WORKLOADS_WORKLOADS_HH
+#define REGPU_WORKLOADS_WORKLOADS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scene/scene.hh"
+
+namespace regpu
+{
+
+/** Static description of one benchmark (Table II). */
+struct BenchmarkInfo
+{
+    std::string alias;   //!< e.g. "ccs"
+    std::string title;   //!< e.g. "match-3 puzzle (CandyCrush-class)"
+    std::string genre;
+    bool is3D = false;
+};
+
+/** All ten benchmarks, in the paper's presentation order. */
+const std::vector<BenchmarkInfo> &benchmarkSuite();
+
+/**
+ * Build the scene for a benchmark.
+ * @param alias   one of the suite aliases
+ * @param config  GPU config (screen size drives layout)
+ * @param seed    content seed (fixed across techniques for fairness)
+ */
+std::unique_ptr<Scene> makeBenchmark(const std::string &alias,
+                                     const GpuConfig &config,
+                                     u64 seed = 1);
+
+/**
+ * An "Android desktop" style idle scene for the Fig. 1 power profile:
+ * a static wallpaper and a handful of static icons; nothing animates.
+ */
+std::unique_ptr<Scene> makeDesktopScene(const GpuConfig &config,
+                                        u64 seed = 1);
+
+} // namespace regpu
+
+#endif // REGPU_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * GpuConfig (Table I) derived-value tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/config.hh"
+
+using namespace regpu;
+
+TEST(GpuConfig, TableOneDefaults)
+{
+    GpuConfig c;
+    EXPECT_EQ(c.frequencyHz, 400'000'000u);
+    EXPECT_EQ(c.screenWidth, 1196u);
+    EXPECT_EQ(c.screenHeight, 768u);
+    EXPECT_EQ(c.tileWidth, 16u);
+    EXPECT_EQ(c.tileHeight, 16u);
+    EXPECT_EQ(c.numVertexProcessors, 1u);
+    EXPECT_EQ(c.numFragmentProcessors, 4u);
+    EXPECT_EQ(c.l2Cache.sizeBytes, 256 * KiB);
+    EXPECT_EQ(c.tileCache.sizeBytes, 128 * KiB);
+    EXPECT_EQ(c.dramBytesPerCycle, 4u);
+}
+
+TEST(GpuConfig, TileGridCoversScreen)
+{
+    GpuConfig c;
+    // 1196/16 = 74.75 -> 75 tiles; 768/16 = 48.
+    EXPECT_EQ(c.tilesX(), 75u);
+    EXPECT_EQ(c.tilesY(), 48u);
+    EXPECT_EQ(c.numTiles(), 3600u);
+}
+
+TEST(GpuConfig, TileAtMapsPixelsToTiles)
+{
+    GpuConfig c;
+    EXPECT_EQ(c.tileAt(0, 0), 0u);
+    EXPECT_EQ(c.tileAt(15, 15), 0u);
+    EXPECT_EQ(c.tileAt(16, 0), 1u);
+    EXPECT_EQ(c.tileAt(0, 16), c.tilesX());
+    EXPECT_EQ(c.tileAt(1195, 767), c.numTiles() - 1);
+}
+
+TEST(GpuConfig, SignatureBufferSizeMatchesPaper)
+{
+    GpuConfig c;
+    // 2 frames x 3600 tiles x 4 B = 28.8 KB: small enough for on-chip
+    // SRAM, the feasibility argument of Section III.
+    EXPECT_EQ(c.signatureBufferBytes(), 2u * 3600 * 4);
+    EXPECT_LT(c.signatureBufferBytes(), 32 * KiB);
+}
+
+TEST(GpuConfig, ScaleResolutionChangesGrid)
+{
+    GpuConfig c;
+    c.scaleResolution(400, 256);
+    EXPECT_EQ(c.tilesX(), 25u);
+    EXPECT_EQ(c.tilesY(), 16u);
+}
+
+TEST(GpuConfig, PrintMentionsKeyParameters)
+{
+    GpuConfig c;
+    std::ostringstream os;
+    c.print(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("400 MHz"), std::string::npos);
+    EXPECT_NE(text.find("1196x768"), std::string::npos);
+}
+
+TEST(GpuConfig, TechniqueNames)
+{
+    EXPECT_STREQ(techniqueName(Technique::Baseline), "Baseline");
+    EXPECT_STREQ(techniqueName(Technique::RenderingElimination), "RE");
+    EXPECT_STREQ(techniqueName(Technique::TransactionElimination), "TE");
+    EXPECT_STREQ(techniqueName(Technique::FragmentMemoization), "Memo");
+}
+
+TEST(GpuConfig, EdgeTileFootprint)
+{
+    GpuConfig c; // 1196 = 74*16 + 12: last tile column is 12 px wide
+    EXPECT_EQ(c.tilesX() * c.tileWidth, 1200u);
+    EXPECT_GT(c.tilesX() * c.tileWidth, c.screenWidth);
+}

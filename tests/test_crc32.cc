@@ -1,0 +1,244 @@
+/**
+ * @file
+ * CRC-32 polynomial-arithmetic tests: the table-based units must agree
+ * with the bitwise reference, and the incremental combine (Algorithm 1)
+ * must reproduce the whole-message CRC for any segmentation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "crc/crc32.hh"
+
+using namespace regpu;
+
+namespace
+{
+
+std::vector<u8>
+randomBytes(Rng &rng, std::size_t n)
+{
+    std::vector<u8> v(n);
+    for (auto &b : v)
+        b = static_cast<u8>(rng.nextBounded(256));
+    return v;
+}
+
+} // namespace
+
+TEST(Gf2, MulModIdentity)
+{
+    // 1 is the multiplicative identity polynomial.
+    Rng rng(1);
+    for (int i = 0; i < 50; i++) {
+        u32 a = static_cast<u32>(rng.next());
+        EXPECT_EQ(gf2MulMod(a, 1), a);
+        EXPECT_EQ(gf2MulMod(1, a), a);
+    }
+}
+
+TEST(Gf2, MulModCommutative)
+{
+    Rng rng(2);
+    for (int i = 0; i < 50; i++) {
+        u32 a = static_cast<u32>(rng.next());
+        u32 b = static_cast<u32>(rng.next());
+        EXPECT_EQ(gf2MulMod(a, b), gf2MulMod(b, a));
+    }
+}
+
+TEST(Gf2, MulModDistributesOverXor)
+{
+    Rng rng(3);
+    for (int i = 0; i < 50; i++) {
+        u32 a = static_cast<u32>(rng.next());
+        u32 b = static_cast<u32>(rng.next());
+        u32 c = static_cast<u32>(rng.next());
+        EXPECT_EQ(gf2MulMod(a, b ^ c),
+                  gf2MulMod(a, b) ^ gf2MulMod(a, c));
+    }
+}
+
+TEST(Gf2, PowXExponentLaw)
+{
+    // x^a * x^b == x^(a+b) mod G.
+    Rng rng(4);
+    for (int i = 0; i < 30; i++) {
+        u64 a = rng.nextBounded(1000);
+        u64 b = rng.nextBounded(1000);
+        EXPECT_EQ(gf2MulMod(gf2PowXMod(a), gf2PowXMod(b)),
+                  gf2PowXMod(a + b));
+    }
+}
+
+TEST(Gf2, PowXZeroIsOne)
+{
+    EXPECT_EQ(gf2PowXMod(0), 1u);
+    EXPECT_EQ(gf2PowXMod(1), 2u); // the polynomial x
+}
+
+TEST(Crc32Reference, EmptyMessageIsZero)
+{
+    EXPECT_EQ(crc32Reference({}), 0u);
+}
+
+TEST(Crc32Reference, SingleBitMessage)
+{
+    // F(0x80...) for one byte 0x80: x^7 * x^32 mod G.
+    u8 byte = 0x80;
+    EXPECT_EQ(crc32Reference({&byte, 1}), gf2PowXMod(7 + 32));
+}
+
+TEST(Crc32Reference, LinearInMessage)
+{
+    // CRC of (A xor B) == CRC(A) xor CRC(B) for equal-length messages
+    // (pure polynomial remainder with zero init is linear).
+    Rng rng(5);
+    for (int i = 0; i < 20; i++) {
+        auto a = randomBytes(rng, 24);
+        auto b = randomBytes(rng, 24);
+        std::vector<u8> x(24);
+        for (int k = 0; k < 24; k++)
+            x[k] = a[k] ^ b[k];
+        EXPECT_EQ(crc32Reference(x),
+                  crc32Reference(a) ^ crc32Reference(b));
+    }
+}
+
+TEST(CrcTables, SignBlockMatchesReference)
+{
+    Rng rng(6);
+    const CrcTables &t = CrcTables::instance();
+    for (int i = 0; i < 200; i++) {
+        u64 block = rng.next();
+        EXPECT_EQ(t.signBlock64(block), crc32ReferenceBlock64(block));
+    }
+}
+
+TEST(CrcTables, ShiftIsMultiplicationByX64)
+{
+    Rng rng(7);
+    const CrcTables &t = CrcTables::instance();
+    u32 x64 = gf2PowXMod(64);
+    for (int i = 0; i < 200; i++) {
+        u32 c = static_cast<u32>(rng.next());
+        EXPECT_EQ(t.shift64(c), gf2MulMod(c, x64));
+    }
+}
+
+TEST(CrcTables, StorageBudgetMatchesPaper)
+{
+    // Twelve 1 KB LUTs (8 sign + 4 shift).
+    EXPECT_EQ(CrcTables::storageBytes(), 12u * 1024);
+}
+
+TEST(Crc32Tabular, MatchesReferenceOnAlignedMessages)
+{
+    Rng rng(8);
+    for (std::size_t len : {8u, 16u, 64u, 144u, 1024u}) {
+        auto msg = randomBytes(rng, len);
+        EXPECT_EQ(crc32Tabular(msg), crc32Reference(msg))
+            << "length " << len;
+    }
+}
+
+TEST(Crc32Tabular, PadsUnalignedTails)
+{
+    // Tabular zero-pads to 64-bit boundaries; the reference over the
+    // explicitly padded message must agree.
+    Rng rng(9);
+    for (std::size_t len : {1u, 7u, 13u, 100u}) {
+        auto msg = randomBytes(rng, len);
+        auto padded = msg;
+        padded.resize((len + 7) / 8 * 8, 0);
+        EXPECT_EQ(crc32Tabular(msg), crc32Reference(padded))
+            << "length " << len;
+    }
+}
+
+TEST(Crc32Combine, ConcatenationIdentity)
+{
+    // Property: for any split point (64-bit aligned), combining the
+    // halves' CRCs equals the whole message's CRC - the exact property
+    // Algorithm 1 relies on.
+    Rng rng(10);
+    for (int trial = 0; trial < 40; trial++) {
+        std::size_t blocksA = 1 + rng.nextBounded(8);
+        std::size_t blocksB = 1 + rng.nextBounded(8);
+        auto a = randomBytes(rng, blocksA * 8);
+        auto b = randomBytes(rng, blocksB * 8);
+        std::vector<u8> whole = a;
+        whole.insert(whole.end(), b.begin(), b.end());
+
+        u32 combined = crc32Combine(crc32Tabular(a), crc32Tabular(b),
+                                    static_cast<u32>(blocksB));
+        EXPECT_EQ(combined, crc32Tabular(whole));
+    }
+}
+
+TEST(Crc32Combine, MultiWayConcatenation)
+{
+    // Fold N sub-messages incrementally, as the Signature Unit does.
+    Rng rng(11);
+    for (int trial = 0; trial < 20; trial++) {
+        u32 running = 0;
+        std::vector<u8> whole;
+        int parts = 2 + static_cast<int>(rng.nextBounded(6));
+        for (int pIdx = 0; pIdx < parts; pIdx++) {
+            std::size_t blocks = 1 + rng.nextBounded(5);
+            auto part = randomBytes(rng, blocks * 8);
+            running = crc32Combine(running, crc32Tabular(part),
+                                   static_cast<u32>(blocks));
+            whole.insert(whole.end(), part.begin(), part.end());
+        }
+        EXPECT_EQ(running, crc32Tabular(whole));
+    }
+}
+
+TEST(Crc32, SensitiveToSingleBitFlips)
+{
+    Rng rng(12);
+    auto msg = randomBytes(rng, 64);
+    u32 orig = crc32Tabular(msg);
+    for (int i = 0; i < 64; i++) {
+        auto flipped = msg;
+        flipped[i] ^= 1u << (i % 8);
+        EXPECT_NE(crc32Tabular(flipped), orig) << "byte " << i;
+    }
+}
+
+TEST(Crc32, SensitiveToBlockOrder)
+{
+    // Unlike XOR folding, CRC distinguishes permuted sub-messages.
+    Rng rng(13);
+    auto a = randomBytes(rng, 16);
+    auto b = randomBytes(rng, 16);
+    std::vector<u8> ab = a, ba = b;
+    ab.insert(ab.end(), b.begin(), b.end());
+    ba.insert(ba.end(), a.begin(), a.end());
+    EXPECT_NE(crc32Tabular(ab), crc32Tabular(ba));
+}
+
+/** Parameterised sweep: tabular == reference across many lengths. */
+class CrcLengthSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(CrcLengthSweep, TabularMatchesPaddedReference)
+{
+    Rng rng(100 + GetParam());
+    std::vector<u8> msg(GetParam());
+    for (auto &byte : msg)
+        byte = static_cast<u8>(rng.nextBounded(256));
+    auto padded = msg;
+    padded.resize((msg.size() + 7) / 8 * 8, 0);
+    EXPECT_EQ(crc32Tabular(msg), crc32Reference(padded));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, CrcLengthSweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7, 8, 9,
+                                           15, 16, 17, 31, 32, 33, 48,
+                                           63, 64, 65, 127, 128, 144,
+                                           255, 256, 1000));

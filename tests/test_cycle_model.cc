@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Cycle-model sanity and monotonicity tests, plus the MemSystem
+ * hierarchy behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "timing/cycle_model.hh"
+#include "timing/memsystem.hh"
+
+using namespace regpu;
+
+namespace
+{
+
+TileRenderStats
+tileWork(u32 frags, u32 prims = 4)
+{
+    TileRenderStats ts;
+    ts.fragmentsGenerated = frags;
+    ts.fragmentsShaded = frags;
+    ts.shaderInstructions = static_cast<u64>(frags) * 12;
+    ts.blendOps = frags;
+    ts.primitivesFetched = prims;
+    ts.parameterBytesRead = prims * 160ull;
+    return ts;
+}
+
+} // namespace
+
+TEST(CycleModel, EmptyTileCostsOnlySetup)
+{
+    GpuConfig cfg;
+    CycleModel m(cfg);
+    Cycles c = m.tileCycles(TileRenderStats{}, 0, 0);
+    EXPECT_LE(c, 16u);
+}
+
+TEST(CycleModel, MoreFragmentsMoreCycles)
+{
+    GpuConfig cfg;
+    CycleModel m(cfg);
+    Cycles small = m.tileCycles(tileWork(64), 0, 0);
+    Cycles large = m.tileCycles(tileWork(256), 0, 0);
+    EXPECT_GT(large, small);
+}
+
+TEST(CycleModel, BandwidthBoundTileDominatedByDram)
+{
+    GpuConfig cfg;
+    CycleModel m(cfg);
+    TileRenderStats ts = tileWork(64);
+    Cycles computeBound = m.tileCycles(ts, 0, 0);
+    Cycles memBound = m.tileCycles(ts, 100000, 0);
+    EXPECT_GT(memBound, computeBound);
+    EXPECT_GE(memBound, 100000u / cfg.dramBytesPerCycle);
+}
+
+TEST(CycleModel, TexelStallsAddToShading)
+{
+    GpuConfig cfg;
+    CycleModel m(cfg);
+    TileRenderStats ts = tileWork(256);
+    Cycles noStall = m.tileCycles(ts, 0, 0);
+    Cycles stalled = m.tileCycles(ts, 0, 5000);
+    EXPECT_GT(stalled, noStall);
+}
+
+TEST(CycleModel, SkippedTileIsCheap)
+{
+    GpuConfig cfg;
+    CycleModel m(cfg);
+    // Signature compare is a couple of cycles; rendering a full tile
+    // is thousands - the asymmetry that powers RE's speedup.
+    EXPECT_LE(m.skippedTileCycles(), 4u);
+    EXPECT_GT(m.tileCycles(tileWork(256), 4096, 100),
+              100 * m.skippedTileCycles());
+}
+
+TEST(CycleModel, GeometryScalesWithVertices)
+{
+    GpuConfig cfg;
+    CycleModel m(cfg);
+    FrameResult small, large;
+    small.verticesShaded = 300;
+    small.trianglesAssembled = 100;
+    small.binned.tileLists.resize(cfg.numTiles());
+    large.verticesShaded = 30000;
+    large.trianglesAssembled = 10000;
+    large.binned.tileLists.resize(cfg.numTiles());
+    EXPECT_GT(m.geometryCycles(large, 0, 60.0),
+              m.geometryCycles(small, 0, 60.0));
+}
+
+TEST(CycleModel, VertexMissesSlowGeometryWhenFetchBound)
+{
+    // Geometry stages are pipelined: small miss counts hide behind
+    // vertex shading; once fetch becomes the bottleneck, misses show.
+    GpuConfig cfg;
+    CycleModel m(cfg);
+    FrameResult fr;
+    fr.verticesShaded = 3000;
+    fr.trianglesAssembled = 1000;
+    fr.binned.tileLists.resize(cfg.numTiles());
+    Cycles clean = m.geometryCycles(fr, 0, 80.0);
+    Cycles fewMisses = m.geometryCycles(fr, 100, 80.0);
+    Cycles manyMisses = m.geometryCycles(fr, 20000, 80.0);
+    EXPECT_EQ(fewMisses, clean);   // hidden behind shading
+    EXPECT_GT(manyMisses, clean);  // fetch-bound
+}
+
+TEST(MemSystem, TexelMissesFillCachesThenHit)
+{
+    GpuConfig cfg;
+    MemSystem mem(cfg);
+    mem.texelFetch(0, 0x3'0000'0000ull);
+    mem.texelFetch(0, 0x3'0000'0000ull);
+    EXPECT_EQ(mem.textureCachesRef()[0].misses(), 1u);
+    EXPECT_EQ(mem.textureCachesRef()[0].hits(), 1u);
+    // The miss reached DRAM as texel traffic.
+    EXPECT_GT(mem.dram().traffic()[TrafficClass::Texels], 0u);
+}
+
+TEST(MemSystem, TextureCachesAreIndependent)
+{
+    GpuConfig cfg;
+    MemSystem mem(cfg);
+    mem.texelFetch(0, 0x3'0000'0000ull);
+    mem.texelFetch(1, 0x3'0000'0000ull);
+    EXPECT_EQ(mem.textureCachesRef()[0].misses(), 1u);
+    EXPECT_EQ(mem.textureCachesRef()[1].misses(), 1u);
+}
+
+TEST(MemSystem, ColorFlushCountsAsColorTraffic)
+{
+    GpuConfig cfg;
+    MemSystem mem(cfg);
+    mem.colorFlush(0x4'0000'0000ull, 1024);
+    EXPECT_EQ(mem.dram().traffic()[TrafficClass::Colors], 1024u);
+}
+
+TEST(MemSystem, ParameterReadMissesGoToDramAsPrimitives)
+{
+    GpuConfig cfg;
+    MemSystem mem(cfg);
+    mem.parameterRead(0x2'0000'0000ull, 256);
+    EXPECT_GT(mem.dram().traffic()[TrafficClass::Primitives], 0u);
+    // Second read of the same region hits the Tile Cache.
+    u64 before = mem.dram().traffic()[TrafficClass::Primitives];
+    mem.parameterRead(0x2'0000'0000ull, 256);
+    EXPECT_EQ(mem.dram().traffic()[TrafficClass::Primitives], before);
+}
+
+TEST(MemSystem, EndFrameInvalidatesTileCache)
+{
+    GpuConfig cfg;
+    MemSystem mem(cfg);
+    mem.parameterRead(0x2'0000'0000ull, 64);
+    mem.endFrame();
+    u64 before = mem.dram().traffic()[TrafficClass::Primitives];
+    mem.parameterRead(0x2'0000'0000ull, 64);
+    EXPECT_GT(mem.dram().traffic()[TrafficClass::Primitives], before);
+}
+
+TEST(MemSystem, FrameSummaryResetsEachFrame)
+{
+    GpuConfig cfg;
+    MemSystem mem(cfg);
+    mem.texelFetch(0, 0x3'0000'0000ull);
+    MemFrameSummary s1 = mem.endFrame();
+    EXPECT_EQ(s1.texelMisses, 1u);
+    MemFrameSummary s2 = mem.endFrame();
+    EXPECT_EQ(s2.texelMisses, 0u);
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * DRAM model tests: bandwidth occupancy, latency envelope, traffic
+ * classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "timing/dram.hh"
+
+using namespace regpu;
+
+TEST(DramModel, TrafficClassifiedByClass)
+{
+    GpuConfig cfg;
+    DramModel d(cfg);
+    d.access(0x1000, 64, TrafficClass::Texels);
+    d.access(0x2000, 128, TrafficClass::Colors);
+    d.access(0x3000, 32, TrafficClass::Primitives);
+    EXPECT_EQ(d.traffic()[TrafficClass::Texels], 64u);
+    EXPECT_EQ(d.traffic()[TrafficClass::Colors], 128u);
+    EXPECT_EQ(d.traffic()[TrafficClass::Primitives], 32u);
+    EXPECT_EQ(d.traffic().total(), 224u);
+}
+
+TEST(DramModel, BusyCyclesFollowBandwidth)
+{
+    GpuConfig cfg; // 4 B/cycle
+    DramModel d(cfg);
+    d.access(0x0, 400, TrafficClass::Geometry);
+    EXPECT_EQ(d.busyCycles(), 100u);
+}
+
+TEST(DramModel, BusyCyclesRoundUp)
+{
+    GpuConfig cfg;
+    DramModel d(cfg);
+    d.access(0x0, 5, TrafficClass::Geometry);
+    EXPECT_EQ(d.busyCycles(), 2u);
+}
+
+TEST(DramModel, LatencyWithinTableOneEnvelope)
+{
+    GpuConfig cfg;
+    DramModel d(cfg);
+    for (int i = 0; i < 100; i++) {
+        Cycles lat = d.access(static_cast<Addr>(i) * 4096, 64,
+                              TrafficClass::Texels);
+        EXPECT_GE(lat, cfg.dramMinLatency);
+        EXPECT_LE(lat, cfg.dramMaxLatency);
+    }
+}
+
+TEST(DramModel, OpenRowHitsAreFast)
+{
+    GpuConfig cfg;
+    DramModel d(cfg);
+    // Channels interleave at 64 B granularity: 0x10000 and 0x10080
+    // land on the same channel and in the same 2 KB row.
+    d.access(0x10000, 64, TrafficClass::Texels); // opens the row
+    Cycles lat = d.access(0x10080, 64, TrafficClass::Texels);
+    EXPECT_EQ(lat, cfg.dramMinLatency);
+}
+
+TEST(DramModel, RowSwitchPaysMaxLatency)
+{
+    GpuConfig cfg;
+    DramModel d(cfg);
+    d.access(0x10000, 64, TrafficClass::Texels);
+    Cycles lat = d.access(0x90000, 64, TrafficClass::Texels);
+    EXPECT_EQ(lat, cfg.dramMaxLatency);
+    EXPECT_GE(d.rowMisses(), 1u);
+}
+
+TEST(DramModel, AverageLatencyBetweenBounds)
+{
+    GpuConfig cfg;
+    DramModel d(cfg);
+    for (int i = 0; i < 50; i++)
+        d.access(static_cast<Addr>(i % 3) * 65536, 64,
+                 TrafficClass::Colors);
+    EXPECT_GE(d.averageLatency(), cfg.dramMinLatency);
+    EXPECT_LE(d.averageLatency(), cfg.dramMaxLatency);
+}
+
+TEST(DramModel, ResetClearsEverything)
+{
+    GpuConfig cfg;
+    DramModel d(cfg);
+    d.access(0x0, 64, TrafficClass::Texels);
+    d.resetStats();
+    EXPECT_EQ(d.traffic().total(), 0u);
+    EXPECT_EQ(d.busyCycles(), 0u);
+    EXPECT_EQ(d.accesses(), 0u);
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Failure-injection tests: drive Rendering Elimination with a
+ * degenerate signature function (Trunc4) that collides by design, and
+ * verify the simulator *detects* the resulting wrong skips instead of
+ * masking them - the instrumentation the hash-quality ablation and
+ * the paper's false-positive discussion rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crc/hashes.hh"
+#include "sim/simulator.hh"
+#include "scene/mesh_gen.hh"
+#include "workloads/workloads.hh"
+
+using namespace regpu;
+
+namespace
+{
+
+/**
+ * Scene engineered so Trunc4 collides: one quad whose vertices only
+ * differ beyond the first 4 bytes of the serialized attribute block.
+ * The first serialized bytes are position.x of vertex 0, which stays
+ * fixed while the quad's far corner moves.
+ */
+std::unique_ptr<Scene>
+makeCollidingScene(const GpuConfig &config)
+{
+    auto scene = std::make_unique<Scene>("collide", config);
+    SceneObject obj;
+    obj.name = "morpher";
+    obj.mesh = makeQuad(40, 40);
+    obj.shader = ShaderKind::Flat;
+    obj.depthTest = false;
+    obj.animate = [](u64 frame) {
+        Pose p;
+        p.position = {32, 32, 0.5f};
+        // Tint changes the output color every frame, but the tint sits
+        // in the *constants* block beyond byte 4 and the attribute
+        // blocks' leading bytes never change: Trunc4 cannot see it.
+        p.tint = {1.0f, 0.1f * (frame % 8), 0.2f, 1.0f};
+        return p;
+    };
+    scene->addObject(std::move(obj));
+    return scene;
+}
+
+} // namespace
+
+TEST(FailureInjection, Trunc4ProducesFalsePositives)
+{
+    GpuConfig config;
+    config.scaleResolution(64, 64);
+    config.technique = Technique::RenderingElimination;
+    auto scene = makeCollidingScene(config);
+    SimOptions opts;
+    opts.frames = 8;
+    opts.hashKind = HashKind::Trunc4;
+    Simulator sim(*scene, config, opts);
+    SimResult r = sim.run();
+    // The colors change every frame but the degenerate signature says
+    // "equal": tiles get skipped wrongly, and the ground-truth shadow
+    // render must flag every one of them.
+    EXPECT_GT(r.reFalsePositives, 0u);
+    EXPECT_GT(r.tileClasses.diffColorsEqualInputs, 0u);
+}
+
+TEST(FailureInjection, Crc32SameSceneHasNone)
+{
+    GpuConfig config;
+    config.scaleResolution(64, 64);
+    config.technique = Technique::RenderingElimination;
+    auto scene = makeCollidingScene(config);
+    SimOptions opts;
+    opts.frames = 8;
+    opts.hashKind = HashKind::Crc32;
+    Simulator sim(*scene, config, opts);
+    SimResult r = sim.run();
+    EXPECT_EQ(r.reFalsePositives, 0u);
+    // CRC32 sees the tint change: the morphing tiles are rendered.
+    EXPECT_GT(r.tilesRendered, 0u);
+}
+
+TEST(FailureInjection, FalsePositivesNeverCrashThePipeline)
+{
+    // With collisions firing constantly the simulation must still
+    // complete, classify every tile, and keep counts consistent.
+    GpuConfig config;
+    config.scaleResolution(96, 64);
+    config.technique = Technique::RenderingElimination;
+    auto scene = makeBenchmark("ctr", config);
+    SimOptions opts;
+    opts.frames = 6;
+    opts.hashKind = HashKind::Trunc4;
+    Simulator sim(*scene, config, opts);
+    SimResult r = sim.run();
+    const TileClassCounts &tc = r.tileClasses;
+    EXPECT_EQ(tc.comparedTiles,
+              tc.equalColorsEqualInputs + tc.equalColorsDiffInputs
+              + tc.diffColorsDiffInputs + tc.diffColorsEqualInputs);
+    EXPECT_EQ(r.tilesTotal, r.tilesRendered + r.tilesSkippedByRe);
+}
+
+TEST(FailureInjection, WeakHashStillFindsTrueRedundancy)
+{
+    // Even a weak hash skips genuinely static tiles; the difference
+    // is only the (now nonzero) false-positive risk.
+    GpuConfig config;
+    config.scaleResolution(96, 64);
+    config.technique = Technique::RenderingElimination;
+    auto scene = makeBenchmark("ccs", config);
+    SimOptions opts;
+    opts.frames = 6;
+    opts.hashKind = HashKind::XorFold;
+    Simulator sim(*scene, config, opts);
+    SimResult r = sim.run();
+    EXPECT_GT(r.tilesSkippedByRe, 0u);
+}

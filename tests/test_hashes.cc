@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests of the alternative signature functions used in the Section V
+ * hash-quality ablation, including demonstrations of the structural
+ * weaknesses that motivate the paper's CRC32 choice.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "crc/hashes.hh"
+
+using namespace regpu;
+
+namespace
+{
+
+std::vector<u8>
+randomBytes(Rng &rng, std::size_t n)
+{
+    std::vector<u8> v(n);
+    for (auto &b : v)
+        b = static_cast<u8>(rng.nextBounded(256));
+    return v;
+}
+
+} // namespace
+
+TEST(Hashes, NamesAreDistinct)
+{
+    EXPECT_STRNE(hashKindName(HashKind::Crc32),
+                 hashKindName(HashKind::XorFold));
+    EXPECT_STRNE(hashKindName(HashKind::AddFold),
+                 hashKindName(HashKind::Fnv1a));
+}
+
+TEST(Hashes, AllKindsDeterministic)
+{
+    Rng rng(30);
+    auto msg = randomBytes(rng, 48);
+    for (HashKind k : {HashKind::Crc32, HashKind::XorFold,
+                       HashKind::AddFold, HashKind::Fnv1a})
+        EXPECT_EQ(hashBlock(k, msg), hashBlock(k, msg));
+}
+
+TEST(Hashes, CrcMatchesTabular)
+{
+    Rng rng(31);
+    auto msg = randomBytes(rng, 80);
+    EXPECT_EQ(hashBlock(HashKind::Crc32, msg), crc32Tabular(msg));
+}
+
+TEST(Hashes, XorFoldIsOrderInsensitiveWithinWord)
+{
+    // The structural weakness: XOR-folding two swapped 4-byte-aligned
+    // words collides - exactly the failure mode the paper's ablation
+    // quantifies.
+    std::vector<u8> ab = {1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<u8> ba = {5, 6, 7, 8, 1, 2, 3, 4};
+    EXPECT_EQ(hashBlock(HashKind::XorFold, ab),
+              hashBlock(HashKind::XorFold, ba));
+    // CRC32 distinguishes them.
+    EXPECT_NE(hashBlock(HashKind::Crc32, ab),
+              hashBlock(HashKind::Crc32, ba));
+}
+
+TEST(Hashes, XorFoldSelfCancels)
+{
+    // A block XORed with itself vanishes: two identical primitives
+    // hash like zero primitives.
+    std::vector<u8> a = {9, 9, 2, 7};
+    u32 ha = hashBlock(HashKind::XorFold, a);
+    u32 combined = hashCombine(HashKind::XorFold, ha, ha, 1);
+    EXPECT_EQ(combined, 0u);
+    // CRC32 does not cancel: combine is length-aware.
+    u32 ca = hashBlock(HashKind::Crc32, a);
+    EXPECT_NE(hashCombine(HashKind::Crc32, ca, ca, 1), 0u);
+}
+
+TEST(Hashes, CombineCrcMatchesConcatenation)
+{
+    Rng rng(32);
+    auto a = randomBytes(rng, 16);
+    auto b = randomBytes(rng, 24);
+    std::vector<u8> whole = a;
+    whole.insert(whole.end(), b.begin(), b.end());
+    u32 combined = hashCombine(HashKind::Crc32,
+                               hashBlock(HashKind::Crc32, a),
+                               hashBlock(HashKind::Crc32, b), 3);
+    EXPECT_EQ(combined, hashBlock(HashKind::Crc32, whole));
+}
+
+TEST(Hashes, Fnv1aOrderSensitive)
+{
+    std::vector<u8> ab = {1, 2}, ba = {2, 1};
+    EXPECT_NE(hashBlock(HashKind::Fnv1a, ab),
+              hashBlock(HashKind::Fnv1a, ba));
+}
+
+TEST(Hashes, AddFoldCommutesAcrossBlocks)
+{
+    // Additive folding is commutative over blocks: combine(x, a) then
+    // b equals combine(x, b) then a - another collision class.
+    u32 a = 0x11111111, b = 0x22222222;
+    u32 viaAb = hashCombine(HashKind::AddFold,
+                            hashCombine(HashKind::AddFold, 7, a, 1), b, 1);
+    u32 viaBa = hashCombine(HashKind::AddFold,
+                            hashCombine(HashKind::AddFold, 7, b, 1), a, 1);
+    EXPECT_EQ(viaAb, viaBa);
+}
+
+TEST(Hashes, CrcCombineIsOrderSensitiveAcrossBlocks)
+{
+    u32 a = hashBlock(HashKind::Crc32, std::vector<u8>{1, 0, 0, 0});
+    u32 b = hashBlock(HashKind::Crc32, std::vector<u8>{2, 0, 0, 0});
+    u32 viaAb = hashCombine(HashKind::Crc32,
+                            hashCombine(HashKind::Crc32, 0, a, 1), b, 1);
+    u32 viaBa = hashCombine(HashKind::Crc32,
+                            hashCombine(HashKind::Crc32, 0, b, 1), a, 1);
+    EXPECT_NE(viaAb, viaBa);
+}
+
+/** Avalanche sweep: flipping any input bit flips ~half the output bits
+ *  for CRC32 (quality), but often very few for XOR-fold. */
+class AvalancheSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AvalancheSweep, CrcFlipsManyBits)
+{
+    Rng rng(40 + GetParam());
+    std::vector<u8> msg(32);
+    for (auto &byte : msg)
+        byte = static_cast<u8>(rng.nextBounded(256));
+    u32 base = hashBlock(HashKind::Crc32, msg);
+    auto flipped = msg;
+    flipped[GetParam() % 32] ^= 0x10;
+    u32 after = hashBlock(HashKind::Crc32, flipped);
+    int changed = __builtin_popcount(base ^ after);
+    EXPECT_GE(changed, 6); // far from the single-bit change of XOR
+}
+
+INSTANTIATE_TEST_SUITE_P(Bytes, AvalancheSweep,
+                         ::testing::Range(0, 16));

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Procedural mesh generator tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scene/mesh_gen.hh"
+
+using namespace regpu;
+
+TEST(MeshGen, QuadHasTwoTriangles)
+{
+    Mesh m = makeQuad(10, 20);
+    EXPECT_EQ(m.triangleCount(), 2u);
+    EXPECT_TRUE(m.layout.hasTexcoord);
+}
+
+TEST(MeshGen, QuadCenteredAtOrigin)
+{
+    Mesh m = makeQuad(10, 20);
+    float minX = 1e9f, maxX = -1e9f, minY = 1e9f, maxY = -1e9f;
+    for (const Vertex &v : m.vertices) {
+        minX = std::min(minX, v.position.x);
+        maxX = std::max(maxX, v.position.x);
+        minY = std::min(minY, v.position.y);
+        maxY = std::max(maxY, v.position.y);
+    }
+    EXPECT_FLOAT_EQ(minX, -5);
+    EXPECT_FLOAT_EQ(maxX, 5);
+    EXPECT_FLOAT_EQ(minY, -10);
+    EXPECT_FLOAT_EQ(maxY, 10);
+}
+
+TEST(MeshGen, QuadUvScale)
+{
+    Mesh m = makeQuad(10, 10, 4.0f);
+    float maxU = 0;
+    for (const Vertex &v : m.vertices)
+        maxU = std::max(maxU, v.texcoord.x);
+    EXPECT_FLOAT_EQ(maxU, 4.0f);
+}
+
+TEST(MeshGen, GridTriangleCount)
+{
+    Rng rng(1);
+    Mesh m = makeGrid(4, 3, 8, 8, 0, rng);
+    EXPECT_EQ(m.triangleCount(), 4u * 3 * 2);
+}
+
+TEST(MeshGen, GridAtlasCellsInUnitRange)
+{
+    Rng rng(2);
+    Mesh m = makeGrid(8, 8, 4, 4, 16, rng);
+    for (const Vertex &v : m.vertices) {
+        EXPECT_GE(v.texcoord.x, 0.0f);
+        EXPECT_LE(v.texcoord.x, 1.0f);
+        EXPECT_GE(v.texcoord.y, 0.0f);
+        EXPECT_LE(v.texcoord.y, 1.0f);
+    }
+}
+
+TEST(MeshGen, GridDeterministicPerSeed)
+{
+    Rng a(3), b(3);
+    Mesh ma = makeGrid(4, 4, 8, 8, 16, a);
+    Mesh mb = makeGrid(4, 4, 8, 8, 16, b);
+    ASSERT_EQ(ma.vertices.size(), mb.vertices.size());
+    for (std::size_t i = 0; i < ma.vertices.size(); i++)
+        EXPECT_EQ(ma.vertices[i], mb.vertices[i]);
+}
+
+TEST(MeshGen, BoxHasTwelveTriangles)
+{
+    Mesh m = makeBox(2, 2, 2);
+    EXPECT_EQ(m.triangleCount(), 12u);
+    EXPECT_TRUE(m.layout.hasNormal);
+}
+
+TEST(MeshGen, BoxNormalsAreUnitAxisAligned)
+{
+    Mesh m = makeBox(2, 4, 6);
+    for (const Vertex &v : m.vertices) {
+        float len = v.normal.length();
+        EXPECT_NEAR(len, 1.0f, 1e-5);
+        int axisCount = (v.normal.x != 0) + (v.normal.y != 0)
+            + (v.normal.z != 0);
+        EXPECT_EQ(axisCount, 1);
+    }
+}
+
+TEST(MeshGen, BoxVerticesWithinExtents)
+{
+    Mesh m = makeBox(2, 4, 6);
+    for (const Vertex &v : m.vertices) {
+        EXPECT_LE(std::abs(v.position.x), 1.0f + 1e-5f);
+        EXPECT_LE(std::abs(v.position.y), 2.0f + 1e-5f);
+        EXPECT_LE(std::abs(v.position.z), 3.0f + 1e-5f);
+    }
+}
+
+TEST(MeshGen, SphereVerticesOnRadius)
+{
+    Mesh m = makeSphere(2.0f, 12, 8);
+    for (const Vertex &v : m.vertices)
+        EXPECT_NEAR(v.position.length(), 2.0f, 1e-4);
+}
+
+TEST(MeshGen, SphereNormalsPointOutward)
+{
+    Mesh m = makeSphere(3.0f, 8, 6);
+    for (const Vertex &v : m.vertices) {
+        Vec3 radial = v.position.normalized();
+        EXPECT_NEAR(radial.dot(v.normal), 1.0f, 1e-4);
+    }
+}
+
+TEST(MeshGen, SphereTriangleCountMatchesTopology)
+{
+    u32 slices = 10, stacks = 6;
+    Mesh m = makeSphere(1.0f, slices, stacks);
+    // Poles contribute one triangle per slice; interior stacks two.
+    EXPECT_EQ(m.triangleCount(), slices * (2 * stacks - 2));
+}
+
+TEST(MeshGen, TerrainGridSize)
+{
+    Rng rng(5);
+    Mesh m = makeTerrain(4, 6, 2.0f, 1.0f, rng);
+    EXPECT_EQ(m.triangleCount(), 4u * 6 * 2);
+}
+
+TEST(MeshGen, TerrainHeightsWithinAmplitude)
+{
+    Rng rng(6);
+    Mesh m = makeTerrain(8, 8, 1.0f, 2.5f, rng);
+    for (const Vertex &v : m.vertices)
+        EXPECT_LE(std::abs(v.position.y), 2.5f);
+}
+
+TEST(MeshGen, FlatTerrainIsFlat)
+{
+    Rng rng(7);
+    Mesh m = makeTerrain(4, 4, 1.0f, 0.0f, rng);
+    for (const Vertex &v : m.vertices)
+        EXPECT_FLOAT_EQ(v.position.y, 0.0f);
+}

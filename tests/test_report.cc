@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Reporting-module tests: summaries, comparisons, CSV schema.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/report.hh"
+#include "workloads/workloads.hh"
+
+using namespace regpu;
+
+namespace
+{
+
+SimResult
+smallRun(Technique tech)
+{
+    GpuConfig config;
+    config.scaleResolution(160, 96);
+    config.technique = tech;
+    auto scene = makeBenchmark("ccs", config);
+    SimOptions opts;
+    opts.frames = 4;
+    Simulator sim(*scene, config, opts);
+    return sim.run();
+}
+
+} // namespace
+
+TEST(Report, SummaryMentionsKeyNumbers)
+{
+    GpuConfig config;
+    config.scaleResolution(160, 96);
+    SimResult r = smallRun(Technique::RenderingElimination);
+    std::ostringstream os;
+    printRunSummary(os, r, config);
+    std::string text = os.str();
+    EXPECT_NE(text.find("ccs"), std::string::npos);
+    EXPECT_NE(text.find("RE"), std::string::npos);
+    EXPECT_NE(text.find("cycles"), std::string::npos);
+    EXPECT_NE(text.find("tiles"), std::string::npos);
+    EXPECT_NE(text.find("false positives"), std::string::npos);
+}
+
+TEST(Report, ComparisonNormalizesToFirst)
+{
+    std::vector<SimResult> results{smallRun(Technique::Baseline),
+                                   smallRun(Technique::RenderingElimination)};
+    std::ostringstream os;
+    printComparison(os, results);
+    std::string text = os.str();
+    // The baseline row normalizes to exactly 1.000 everywhere.
+    EXPECT_NE(text.find("1.000"), std::string::npos);
+    EXPECT_NE(text.find("Baseline"), std::string::npos);
+    EXPECT_NE(text.find("RE"), std::string::npos);
+}
+
+TEST(Report, ComparisonOnEmptyInputIsSilent)
+{
+    std::ostringstream os;
+    printComparison(os, {});
+    EXPECT_TRUE(os.str().empty());
+}
+
+TEST(Report, CsvHeaderMatchesSchema)
+{
+    SimResult r = smallRun(Technique::Baseline);
+    std::ostringstream os;
+    writeCsvRow(os, r, true);
+    std::string text = os.str();
+    // Two lines: header + row.
+    auto firstNewline = text.find('\n');
+    ASSERT_NE(firstNewline, std::string::npos);
+    std::string header = text.substr(0, firstNewline);
+
+    std::size_t commas = 0;
+    for (char c : header)
+        commas += c == ',';
+    EXPECT_EQ(commas + 1, csvColumns().size());
+    EXPECT_EQ(header.substr(0, 8), "workload");
+}
+
+TEST(Report, CsvRowFieldCountMatchesHeader)
+{
+    SimResult r = smallRun(Technique::Baseline);
+    std::ostringstream os;
+    writeCsvRow(os, r, false);
+    std::string row = os.str();
+    std::size_t commas = 0;
+    for (char c : row)
+        commas += c == ',';
+    EXPECT_EQ(commas + 1, csvColumns().size());
+}
+
+TEST(Report, CsvRowStartsWithWorkloadAndTechnique)
+{
+    SimResult r = smallRun(Technique::TransactionElimination);
+    std::ostringstream os;
+    writeCsvRow(os, r, false);
+    EXPECT_EQ(os.str().substr(0, 7), "ccs,TE,");
+}

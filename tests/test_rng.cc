@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Determinism and distribution sanity checks for the portable RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+using namespace regpu;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; i++)
+        if (a.next() == b.next())
+            same++;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_LT(r.nextBounded(17), 17u);
+}
+
+TEST(Rng, BoundedZeroReturnsZero)
+{
+    Rng r(7);
+    EXPECT_EQ(r.nextBounded(0), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(11);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; i++) {
+        i64 v = r.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        sawLo |= v == -3;
+        sawHi |= v == 3;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, RangeDegenerate)
+{
+    Rng r(13);
+    EXPECT_EQ(r.nextRange(5, 5), 5);
+    EXPECT_EQ(r.nextRange(5, 3), 5);
+}
+
+TEST(Rng, FloatInUnitInterval)
+{
+    Rng r(17);
+    for (int i = 0; i < 1000; i++) {
+        float f = r.nextFloat();
+        EXPECT_GE(f, 0.0f);
+        EXPECT_LT(f, 1.0f);
+    }
+}
+
+TEST(Rng, FloatMeanNearHalf)
+{
+    Rng r(19);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; i++)
+        sum += r.nextFloat();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BoundedUniformity)
+{
+    Rng r(23);
+    int buckets[8] = {};
+    const int n = 16000;
+    for (int i = 0; i < n; i++)
+        buckets[r.nextBounded(8)]++;
+    for (int b = 0; b < 8; b++)
+        EXPECT_NEAR(buckets[b], n / 8, n / 8 * 0.15);
+}
+
+TEST(Rng, FloatRangeRespectsBounds)
+{
+    Rng r(29);
+    for (int i = 0; i < 500; i++) {
+        float f = r.nextFloatRange(-2.0f, 3.0f);
+        EXPECT_GE(f, -2.0f);
+        EXPECT_LT(f, 3.0f);
+    }
+}
+
+TEST(Rng, BoolProbabilityRoughlyHonored)
+{
+    Rng r(31);
+    int trues = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; i++)
+        if (r.nextBool(0.25f))
+            trues++;
+    EXPECT_NEAR(trues, n / 4, n / 4 * 0.15);
+}

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Scene / command-trace generation tests: determinism and the exact
+ * properties the signature path depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scene/mesh_gen.hh"
+#include "scene/scene.hh"
+
+using namespace regpu;
+
+namespace
+{
+
+struct SceneFixture : ::testing::Test
+{
+    GpuConfig config;
+    std::unique_ptr<Scene> scene;
+
+    SceneFixture()
+    {
+        config.scaleResolution(128, 128);
+        scene = std::make_unique<Scene>("s", config);
+    }
+
+    void
+    addStatic()
+    {
+        SceneObject o;
+        o.name = "static";
+        o.mesh = makeQuad(32, 32);
+        o.shader = ShaderKind::Flat;
+        o.animate = [](u64) {
+            Pose p;
+            p.position = {64, 64, 0.5f};
+            return p;
+        };
+        scene->addObject(std::move(o));
+    }
+
+    void
+    addMover()
+    {
+        SceneObject o;
+        o.name = "mover";
+        o.mesh = makeQuad(8, 8);
+        o.shader = ShaderKind::Flat;
+        o.animate = [](u64 frame) {
+            Pose p;
+            p.position = {10.0f + frame, 10, 0.2f};
+            return p;
+        };
+        scene->addObject(std::move(o));
+    }
+};
+
+} // namespace
+
+TEST_F(SceneFixture, EmitIsDeterministic)
+{
+    addStatic();
+    addMover();
+    FrameCommands a = scene->emitFrame(7);
+    FrameCommands b = scene->emitFrame(7);
+    ASSERT_EQ(a.draws.size(), b.draws.size());
+    for (std::size_t i = 0; i < a.draws.size(); i++) {
+        EXPECT_EQ(a.draws[i].state.uniforms, b.draws[i].state.uniforms);
+        EXPECT_EQ(a.draws[i].vertices.size(), b.draws[i].vertices.size());
+    }
+}
+
+TEST_F(SceneFixture, StaticObjectHasIdenticalUniformsAcrossFrames)
+{
+    addStatic();
+    FrameCommands f0 = scene->emitFrame(0);
+    FrameCommands f5 = scene->emitFrame(5);
+    // Byte-identical constants: the root cause of tile redundancy.
+    EXPECT_EQ(f0.draws[0].state.uniforms.serialize(),
+              f5.draws[0].state.uniforms.serialize());
+}
+
+TEST_F(SceneFixture, MovingObjectChangesUniforms)
+{
+    addMover();
+    FrameCommands f0 = scene->emitFrame(0);
+    FrameCommands f1 = scene->emitFrame(1);
+    EXPECT_NE(f0.draws[0].state.uniforms.serialize(),
+              f1.draws[0].state.uniforms.serialize());
+}
+
+TEST_F(SceneFixture, InvisibleObjectEmitsNoDraw)
+{
+    SceneObject o;
+    o.name = "blinker";
+    o.mesh = makeQuad(8, 8);
+    o.animate = [](u64 frame) {
+        Pose p;
+        p.visible = frame % 2 == 0;
+        return p;
+    };
+    scene->addObject(std::move(o));
+    EXPECT_EQ(scene->emitFrame(0).draws.size(), 1u);
+    EXPECT_EQ(scene->emitFrame(1).draws.size(), 0u);
+}
+
+TEST_F(SceneFixture, GlobalStateChangeMarksFrame)
+{
+    addStatic();
+    scene->markGlobalStateChange(3);
+    EXPECT_FALSE(scene->emitFrame(2).globalStateChanged);
+    EXPECT_TRUE(scene->emitFrame(3).globalStateChanged);
+    EXPECT_FALSE(scene->emitFrame(4).globalStateChanged);
+}
+
+TEST_F(SceneFixture, VertexBufferIdsAreStablePerObject)
+{
+    addStatic();
+    addMover();
+    FrameCommands f = scene->emitFrame(0);
+    ASSERT_EQ(f.draws.size(), 2u);
+    EXPECT_NE(f.draws[0].vertexBufferId, f.draws[1].vertexBufferId);
+    FrameCommands g = scene->emitFrame(9);
+    EXPECT_EQ(f.draws[0].vertexBufferId, g.draws[0].vertexBufferId);
+}
+
+TEST_F(SceneFixture, UvScrollFlowsIntoUniforms)
+{
+    SceneObject o;
+    o.name = "scroller";
+    o.mesh = makeQuad(8, 8);
+    o.animate = [](u64 frame) {
+        Pose p;
+        p.uvScroll = {0.01f * frame, 0};
+        return p;
+    };
+    scene->addObject(std::move(o));
+    EXPECT_FLOAT_EQ(scene->emitFrame(3).draws[0].state.uniforms.uvOffsetS,
+                    0.03f);
+}
+
+TEST(UniformSet, SerializeIsStable)
+{
+    UniformSet u;
+    u.mvp = Mat4::translate(1, 2, 3);
+    u.tint = {0.5f, 0.25f, 1.0f, 1.0f};
+    EXPECT_EQ(u.serialize(), u.serialize());
+    // Non-default tint: the full record is uploaded.
+    EXPECT_EQ(u.serialize().size(), UniformSet::valueCount * 4);
+}
+
+TEST(UniformSet, DefaultExtrasSerializeToMvpOnly)
+{
+    // The common command updates just the MVP: 16 values = 64 B,
+    // matching the paper's average constants upload (8 sub-blocks).
+    UniformSet u;
+    u.mvp = Mat4::translate(4, 5, 6);
+    EXPECT_EQ(u.serialize().size(), 16u * 4);
+}
+
+TEST(UniformSet, ExtrasSectionCannotAliasMvpOnly)
+{
+    UniformSet plain;
+    UniformSet tinted;
+    tinted.tint = {0.5f, 1, 1, 1};
+    EXPECT_NE(plain.serialize().size(), tinted.serialize().size());
+}
+
+TEST(UniformSet, SerializeSensitiveToEveryField)
+{
+    UniformSet base;
+    auto ref = base.serialize();
+    UniformSet m1 = base;
+    m1.mvp.m[2][1] += 0.001f;
+    EXPECT_NE(m1.serialize(), ref);
+    UniformSet m2 = base;
+    m2.tint.y += 0.001f;
+    EXPECT_NE(m2.serialize(), ref);
+    UniformSet m3 = base;
+    m3.uvOffsetT += 0.001f;
+    EXPECT_NE(m3.serialize(), ref);
+    UniformSet m4 = base;
+    m4.lightDir.x += 0.001f;
+    EXPECT_NE(m4.serialize(), ref);
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * StatRegistry behaviour tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+using namespace regpu;
+
+TEST(StatRegistry, CountersStartAtZero)
+{
+    StatRegistry s;
+    EXPECT_EQ(s.counter("anything"), 0u);
+    EXPECT_DOUBLE_EQ(s.scalar("anything"), 0.0);
+}
+
+TEST(StatRegistry, IncAccumulates)
+{
+    StatRegistry s;
+    s.inc("a");
+    s.inc("a", 4);
+    EXPECT_EQ(s.counter("a"), 5u);
+}
+
+TEST(StatRegistry, ScalarsAccumulate)
+{
+    StatRegistry s;
+    s.add("x", 1.5);
+    s.add("x", 2.5);
+    EXPECT_DOUBLE_EQ(s.scalar("x"), 4.0);
+}
+
+TEST(StatRegistry, NamesAreIndependent)
+{
+    StatRegistry s;
+    s.inc("a");
+    s.inc("b", 2);
+    EXPECT_EQ(s.counter("a"), 1u);
+    EXPECT_EQ(s.counter("b"), 2u);
+}
+
+TEST(StatRegistry, ResetClearsEverything)
+{
+    StatRegistry s;
+    s.inc("a", 10);
+    s.add("b", 3.0);
+    s.reset();
+    EXPECT_EQ(s.counter("a"), 0u);
+    EXPECT_DOUBLE_EQ(s.scalar("b"), 0.0);
+}
+
+TEST(StatRegistry, DumpSortedByName)
+{
+    StatRegistry s;
+    s.inc("zeta", 1);
+    s.inc("alpha", 2);
+    std::ostringstream os;
+    s.dump(os);
+    std::string text = os.str();
+    EXPECT_LT(text.find("alpha"), text.find("zeta"));
+}
+
+TEST(StatRegistry, CopySnapshotIsIndependent)
+{
+    StatRegistry s;
+    s.inc("a", 1);
+    StatRegistry snap = s;
+    s.inc("a", 1);
+    EXPECT_EQ(snap.counter("a"), 1u);
+    EXPECT_EQ(s.counter("a"), 2u);
+}
+
+TEST(StatRegistry, AllCountersExposesEntries)
+{
+    StatRegistry s;
+    s.inc("one");
+    s.inc("two", 2);
+    EXPECT_EQ(s.allCounters().size(), 2u);
+}

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Transaction Elimination tests: flush elision on color match, no
+ * elision on mismatch, independence from input changes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "gpu/pipeline.hh"
+#include "scene/mesh_gen.hh"
+#include "te/transaction_elimination.hh"
+
+using namespace regpu;
+
+namespace
+{
+
+struct TeFixture : ::testing::Test
+{
+    GpuConfig config;
+    StatRegistry stats;
+    std::unique_ptr<Scene> scene;
+    std::unique_ptr<GraphicsPipeline> pipe;
+    std::unique_ptr<TransactionElimination> te;
+
+    TeFixture()
+    {
+        config.scaleResolution(64, 64);
+        config.technique = Technique::TransactionElimination;
+    }
+
+    void
+    buildScene(bool withMover)
+    {
+        scene = std::make_unique<Scene>("te-test", config);
+        u32 tex = scene->addTexture(
+            Texture(0, 64, 64, TexturePattern::Checker, 5));
+        SceneObject bg;
+        bg.name = "bg";
+        bg.mesh = makeQuad(64, 64);
+        bg.shader = ShaderKind::Textured;
+        bg.textureId = static_cast<i32>(tex);
+        bg.depthTest = false;
+        bg.animate = [](u64) {
+            Pose p;
+            p.position = {32, 32, 0.5f};
+            return p;
+        };
+        scene->addObject(std::move(bg));
+        if (withMover) {
+            SceneObject mover;
+            mover.name = "mover";
+            mover.mesh = makeQuad(12, 12, 0.5f);
+            mover.shader = ShaderKind::Textured;
+            mover.textureId = static_cast<i32>(tex);
+            mover.depthTest = false;
+            mover.animate = [](u64 frame) {
+                Pose p;
+                p.position = {10.0f + 3.0f * frame, 10, 0.2f};
+                return p;
+            };
+            scene->addObject(std::move(mover));
+        }
+        te = std::make_unique<TransactionElimination>(config, stats);
+        pipe = std::make_unique<GraphicsPipeline>(config, stats, nullptr,
+                                                  scene->textures());
+        pipe->setHooks(te.get());
+    }
+
+    FrameResult
+    frame(u64 i)
+    {
+        return pipe->renderFrame(scene->emitFrame(i), true);
+    }
+};
+
+} // namespace
+
+TEST_F(TeFixture, AllTilesStillRendered)
+{
+    // TE never skips rendering - only the flush.
+    buildScene(false);
+    for (u64 f = 0; f < 4; f++) {
+        FrameResult r = frame(f);
+        for (const TileOutcome &t : r.tiles)
+            EXPECT_TRUE(t.rendered);
+    }
+}
+
+TEST_F(TeFixture, StaticSceneFlushesEliminatedAtSteadyState)
+{
+    buildScene(false);
+    frame(0);
+    frame(1);
+    FrameResult f2 = frame(2);
+    for (const TileOutcome &t : f2.tiles)
+        EXPECT_FALSE(t.flushed);
+    EXPECT_EQ(stats.counter("te.flushesEliminated"),
+              config.numTiles());
+}
+
+TEST_F(TeFixture, ChangedTilesStillFlushed)
+{
+    buildScene(true);
+    frame(0);
+    frame(1);
+    FrameResult f2 = frame(2);
+    u32 flushed = 0, elided = 0;
+    for (const TileOutcome &t : f2.tiles)
+        (t.flushed ? flushed : elided)++;
+    EXPECT_GT(flushed, 0u);
+    EXPECT_GT(elided, 0u);
+}
+
+TEST_F(TeFixture, ElidedTilesAreActuallyEqual)
+{
+    // TE must never elide a flush whose colors differ from what the
+    // Frame Buffer holds (CRC32 collision would be the only cause).
+    buildScene(true);
+    for (u64 f = 0; f < 6; f++) {
+        FrameResult r = frame(f);
+        for (const TileOutcome &t : r.tiles) {
+            if (t.rendered && !t.flushed) {
+                EXPECT_TRUE(t.equalColors);
+            }
+        }
+    }
+}
+
+TEST_F(TeFixture, CatchesColorRedundancyFromDifferentInputs)
+{
+    // An object moving behind an opaque cover changes tile *inputs*
+    // but not colors: TE (output-hash) still elides the flush. This
+    // is the paper's "TE may obtain savings where RE cannot".
+    scene = std::make_unique<Scene>("te-occluded", config);
+    scene->addTexture(Texture(0, 64, 64, TexturePattern::Solid, 5));
+    // Opaque full-screen cover drawn last (painter's order).
+    SceneObject spinner;
+    spinner.name = "spinner";
+    spinner.mesh = makeQuad(20, 20, 0.5f);
+    spinner.shader = ShaderKind::Textured;
+    spinner.textureId = 0;
+    spinner.depthTest = false;
+    spinner.animate = [](u64 frame) {
+        Pose p;
+        p.position = {32, 32, 0.8f};
+        p.rotationZ = 0.3f * frame;
+        return p;
+    };
+    scene->addObject(std::move(spinner));
+    SceneObject cover;
+    cover.name = "cover";
+    cover.mesh = makeQuad(64, 64);
+    cover.shader = ShaderKind::Textured;
+    cover.textureId = 0;
+    cover.depthTest = false;
+    cover.animate = [](u64) {
+        Pose p;
+        p.position = {32, 32, 0.1f};
+        return p;
+    };
+    scene->addObject(std::move(cover));
+
+    te = std::make_unique<TransactionElimination>(config, stats);
+    pipe = std::make_unique<GraphicsPipeline>(config, stats, nullptr,
+                                              scene->textures());
+    pipe->setHooks(te.get());
+
+    frame(0);
+    frame(1);
+    FrameResult f2 = frame(2);
+    for (const TileOutcome &t : f2.tiles)
+        EXPECT_FALSE(t.flushed); // colors identical despite moving input
+}
+
+TEST_F(TeFixture, SignatureEnergyAccounted)
+{
+    buildScene(false);
+    frame(0);
+    EXPECT_GT(stats.counter("te.lutAccesses"), 0u);
+    EXPECT_GT(stats.counter("te.sigBufferAccesses"), 0u);
+}

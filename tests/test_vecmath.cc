@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the vector/matrix math substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/vecmath.hh"
+
+using namespace regpu;
+
+TEST(Vec3, DotAndCross)
+{
+    Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+    EXPECT_FLOAT_EQ(x.dot(y), 0.0f);
+    EXPECT_FLOAT_EQ(x.dot(x), 1.0f);
+    EXPECT_EQ(x.cross(y), z);
+    EXPECT_EQ(y.cross(z), x);
+    EXPECT_EQ(z.cross(x), y);
+}
+
+TEST(Vec3, NormalizedHasUnitLength)
+{
+    Vec3 v{3, 4, 12};
+    EXPECT_NEAR(v.normalized().length(), 1.0f, 1e-6f);
+}
+
+TEST(Vec3, NormalizedZeroVectorIsZero)
+{
+    Vec3 v{0, 0, 0};
+    EXPECT_EQ(v.normalized(), Vec3{});
+}
+
+TEST(Vec4, ComponentAccess)
+{
+    Vec4 v{1, 2, 3, 4};
+    EXPECT_FLOAT_EQ(v[0], 1);
+    EXPECT_FLOAT_EQ(v[1], 2);
+    EXPECT_FLOAT_EQ(v[2], 3);
+    EXPECT_FLOAT_EQ(v[3], 4);
+    EXPECT_EQ(v.xyz(), (Vec3{1, 2, 3}));
+}
+
+TEST(Lerp, EndpointsAndMidpoint)
+{
+    EXPECT_FLOAT_EQ(lerp(2.0f, 6.0f, 0.0f), 2.0f);
+    EXPECT_FLOAT_EQ(lerp(2.0f, 6.0f, 1.0f), 6.0f);
+    EXPECT_FLOAT_EQ(lerp(2.0f, 6.0f, 0.5f), 4.0f);
+    EXPECT_EQ(lerp(Vec2{0, 0}, Vec2{2, 4}, 0.5f), (Vec2{1, 2}));
+}
+
+TEST(Mat4, IdentityLeavesVectorUnchanged)
+{
+    Vec4 v{1, 2, 3, 1};
+    EXPECT_EQ(Mat4::identity() * v, v);
+}
+
+TEST(Mat4, TranslateMovesPoint)
+{
+    Vec4 p = Mat4::translate(5, -3, 2) * Vec4{1, 1, 1, 1};
+    EXPECT_EQ(p, (Vec4{6, -2, 3, 1}));
+}
+
+TEST(Mat4, TranslateIgnoresDirection)
+{
+    // w=0 vectors are directions and must not be translated.
+    Vec4 d = Mat4::translate(5, -3, 2) * Vec4{1, 0, 0, 0};
+    EXPECT_EQ(d, (Vec4{1, 0, 0, 0}));
+}
+
+TEST(Mat4, ScaleScales)
+{
+    Vec4 p = Mat4::scale(2, 3, 4) * Vec4{1, 1, 1, 1};
+    EXPECT_EQ(p, (Vec4{2, 3, 4, 1}));
+}
+
+TEST(Mat4, RotateZQuarterTurn)
+{
+    Vec4 p = Mat4::rotateZ(3.14159265f / 2) * Vec4{1, 0, 0, 1};
+    EXPECT_NEAR(p.x, 0, 1e-6);
+    EXPECT_NEAR(p.y, 1, 1e-6);
+}
+
+TEST(Mat4, RotateYQuarterTurn)
+{
+    Vec4 p = Mat4::rotateY(3.14159265f / 2) * Vec4{1, 0, 0, 1};
+    EXPECT_NEAR(p.x, 0, 1e-6);
+    EXPECT_NEAR(p.z, -1, 1e-6);
+}
+
+TEST(Mat4, ProductAssociatesWithVector)
+{
+    Mat4 a = Mat4::translate(1, 2, 3);
+    Mat4 b = Mat4::scale(2, 2, 2);
+    Vec4 v{1, 1, 1, 1};
+    Vec4 lhs = (a * b) * v;
+    Vec4 rhs = a * (b * v);
+    EXPECT_NEAR(lhs.x, rhs.x, 1e-6);
+    EXPECT_NEAR(lhs.y, rhs.y, 1e-6);
+    EXPECT_NEAR(lhs.z, rhs.z, 1e-6);
+    EXPECT_NEAR(lhs.w, rhs.w, 1e-6);
+}
+
+TEST(Mat4, OrthoMapsCornersToNdc)
+{
+    Mat4 m = Mat4::ortho(0, 100, 0, 50, -1, 1);
+    Vec4 bl = m * Vec4{0, 0, 0, 1};
+    Vec4 tr = m * Vec4{100, 50, 0, 1};
+    EXPECT_NEAR(bl.x, -1, 1e-6);
+    EXPECT_NEAR(bl.y, -1, 1e-6);
+    EXPECT_NEAR(tr.x, 1, 1e-6);
+    EXPECT_NEAR(tr.y, 1, 1e-6);
+}
+
+TEST(Mat4, PerspectiveProducesNegativeWBehindCamera)
+{
+    Mat4 m = Mat4::perspective(1.0f, 1.5f, 0.5f, 100.0f);
+    Vec4 inFront = m * Vec4{0, 0, -10, 1};
+    Vec4 behind = m * Vec4{0, 0, 10, 1};
+    EXPECT_GT(inFront.w, 0);
+    EXPECT_LT(behind.w, 0);
+}
+
+TEST(Mat4, PerspectiveDepthRange)
+{
+    Mat4 m = Mat4::perspective(1.0f, 1.0f, 1.0f, 100.0f);
+    Vec4 nearP = m * Vec4{0, 0, -1, 1};
+    Vec4 farP = m * Vec4{0, 0, -100, 1};
+    EXPECT_NEAR(nearP.z / nearP.w, -1, 1e-4);
+    EXPECT_NEAR(farP.z / farP.w, 1, 1e-4);
+}
+
+TEST(Mat4, LookAtPlacesEyeAtOrigin)
+{
+    Mat4 v = Mat4::lookAt({5, 5, 5}, {0, 0, 0}, {0, 1, 0});
+    Vec4 eye = v * Vec4{5, 5, 5, 1};
+    EXPECT_NEAR(eye.x, 0, 1e-5);
+    EXPECT_NEAR(eye.y, 0, 1e-5);
+    EXPECT_NEAR(eye.z, 0, 1e-5);
+}
+
+TEST(Mat4, LookAtLooksDownNegativeZ)
+{
+    Mat4 v = Mat4::lookAt({0, 0, 10}, {0, 0, 0}, {0, 1, 0});
+    Vec4 target = v * Vec4{0, 0, 0, 1};
+    EXPECT_LT(target.z, 0); // in front of the camera
+}
+
+TEST(Clampf, Bounds)
+{
+    EXPECT_FLOAT_EQ(clampf(5, 0, 1), 1);
+    EXPECT_FLOAT_EQ(clampf(-5, 0, 1), 0);
+    EXPECT_FLOAT_EQ(clampf(0.5f, 0, 1), 0.5f);
+}

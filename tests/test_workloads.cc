@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Workload suite tests: construction, determinism and coherence-class
+ * placement (static-camera games must show high tile redundancy, the
+ * shooter almost none).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace regpu;
+
+TEST(Workloads, SuiteHasTenEntries)
+{
+    EXPECT_EQ(benchmarkSuite().size(), 10u);
+}
+
+TEST(Workloads, AliasesMatchPaperTable)
+{
+    const char *expected[] = {"ccs", "cde", "coc", "ctr", "hop",
+                              "mst", "abi", "csn", "ter", "tib"};
+    const auto &suite = benchmarkSuite();
+    for (std::size_t i = 0; i < suite.size(); i++)
+        EXPECT_EQ(suite[i].alias, expected[i]);
+}
+
+TEST(Workloads, AllBenchmarksConstruct)
+{
+    GpuConfig config;
+    config.scaleResolution(160, 96);
+    for (const auto &info : benchmarkSuite()) {
+        auto scene = makeBenchmark(info.alias, config);
+        ASSERT_NE(scene, nullptr) << info.alias;
+        EXPECT_EQ(scene->name(), info.alias);
+        EXPECT_FALSE(scene->objects().empty()) << info.alias;
+        EXPECT_FALSE(scene->emitFrame(0).draws.empty()) << info.alias;
+    }
+}
+
+TEST(Workloads, UnknownAliasDies)
+{
+    GpuConfig config;
+    EXPECT_EXIT(makeBenchmark("nope", config),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(Workloads, ScenesAreDeterministicAcrossConstruction)
+{
+    GpuConfig config;
+    config.scaleResolution(160, 96);
+    auto a = makeBenchmark("ccs", config);
+    auto b = makeBenchmark("ccs", config);
+    FrameCommands fa = a->emitFrame(4);
+    FrameCommands fb = b->emitFrame(4);
+    ASSERT_EQ(fa.draws.size(), fb.draws.size());
+    for (std::size_t i = 0; i < fa.draws.size(); i++)
+        EXPECT_EQ(fa.draws[i].state.uniforms.serialize(),
+                  fb.draws[i].state.uniforms.serialize());
+}
+
+TEST(Workloads, DesktopSceneIsFullyStatic)
+{
+    GpuConfig config;
+    config.scaleResolution(160, 96);
+    auto scene = makeDesktopScene(config);
+    FrameCommands f0 = scene->emitFrame(0);
+    FrameCommands f9 = scene->emitFrame(9);
+    ASSERT_EQ(f0.draws.size(), f9.draws.size());
+    for (std::size_t i = 0; i < f0.draws.size(); i++)
+        EXPECT_EQ(f0.draws[i].state.uniforms.serialize(),
+                  f9.draws[i].state.uniforms.serialize());
+}
+
+namespace
+{
+
+/** Fraction of tiles RE skips at small scale over a short run. */
+double
+skippedFraction(const std::string &alias)
+{
+    GpuConfig config;
+    config.scaleResolution(208, 128);
+    config.technique = Technique::RenderingElimination;
+    auto scene = makeBenchmark(alias, config);
+    SimOptions opts;
+    opts.frames = 10;
+    Simulator sim(*scene, config, opts);
+    SimResult r = sim.run();
+    return static_cast<double>(r.tilesSkippedByRe) / r.tilesTotal;
+}
+
+} // namespace
+
+TEST(Workloads, StaticCameraGamesAreHighlyRedundant)
+{
+    // ccs/cde/hop: >60% of all tiles skipped even counting the warmup
+    // frames that can never skip.
+    EXPECT_GT(skippedFraction("ccs"), 0.6);
+    EXPECT_GT(skippedFraction("cde"), 0.6);
+    EXPECT_GT(skippedFraction("hop"), 0.6);
+}
+
+TEST(Workloads, ShooterHasAlmostNoRedundancy)
+{
+    EXPECT_LT(skippedFraction("mst"), 0.10);
+}
+
+TEST(Workloads, MixedGamesSitBetween)
+{
+    double abi = skippedFraction("abi");
+    EXPECT_GT(abi, 0.05);
+    EXPECT_LT(abi, 0.9);
+}
+
+TEST(Workloads, Use2DAnd3DPipelines)
+{
+    const auto &suite = benchmarkSuite();
+    int threeD = 0;
+    for (const auto &info : suite)
+        threeD += info.is3D ? 1 : 0;
+    EXPECT_GE(threeD, 3);
+    EXPECT_LE(threeD, 7);
+}
