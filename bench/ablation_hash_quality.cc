@@ -17,6 +17,7 @@
 #include "common/rng.hh"
 #include "crc/hashes.hh"
 #include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 
 using namespace regpu;
 
@@ -72,19 +73,12 @@ adversarialCollisions(HashKind kind, u64 trials)
 u64
 suiteFalsePositives(HashKind kind, const ExperimentScale &scale)
 {
-    u64 total = 0;
-    for (const std::string &alias : allAliases()) {
-        GpuConfig config;
-        config.scaleResolution(scale.screenWidth, scale.screenHeight);
-        config.technique = Technique::RenderingElimination;
-        auto scene = makeBenchmark(alias, config);
-        SimOptions opts;
-        opts.frames = scale.frames;
-        opts.hashKind = kind;
-        Simulator sim(*scene, config, opts);
-        total += sim.run().reFalsePositives;
-    }
-    return total;
+    const std::vector<SimJob> jobs = buildSweepJobs(
+        allAliases(), {Technique::RenderingElimination},
+        scale.screenWidth, scale.screenHeight, scale.frames, kind);
+    const std::vector<SimResult> results =
+        ParallelRunner(scale.jobs).run(jobs);
+    return mergeResults(results).reFalsePositives;
 }
 
 } // namespace

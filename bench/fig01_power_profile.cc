@@ -12,25 +12,18 @@
 #include <cstdio>
 
 #include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 
 using namespace regpu;
 
 namespace
 {
 
+/** Power post-processing over a finished run (pure, no simulation). */
 double
-averagePowerMw(const std::string &alias, const ExperimentScale &scale)
+powerFromResult(const std::string &alias, const SimResult &r,
+                const GpuConfig &config)
 {
-    GpuConfig config;
-    config.scaleResolution(scale.screenWidth, scale.screenHeight);
-    config.technique = Technique::Baseline;
-    std::unique_ptr<Scene> scene = alias == "desktop"
-        ? makeDesktopScene(config)
-        : makeBenchmark(alias, config);
-    SimOptions opts;
-    opts.frames = scale.frames;
-    Simulator sim(*scene, config, opts);
-    SimResult r = sim.run();
     // Wall-clock window: the display refreshes at 60 fps regardless of
     // how fast the GPU finished each frame; idle cycles draw only the
     // rail/display background power.
@@ -61,12 +54,31 @@ main(int argc, char **argv)
 
     printTableHeader("Fig. 1 (simulated): average GPU+memory power",
                      {"power_mW"});
-    double desktop = averagePowerMw("desktop", scale);
+
+    // The desktop scene is not a suite alias, so it runs outside the
+    // worker pool (one cheap run).
+    GpuConfig desktopConfig;
+    desktopConfig.scaleResolution(scale.screenWidth, scale.screenHeight);
+    auto desktopScene = makeDesktopScene(desktopConfig);
+    SimOptions desktopOpts;
+    desktopOpts.frames = scale.frames;
+    Simulator desktopSim(*desktopScene, desktopConfig, desktopOpts);
+    double desktop =
+        powerFromResult("desktop", desktopSim.run(), desktopConfig);
     printTableRow("desktop", {desktop}, 1);
+
+    const std::vector<SimJob> jobs =
+        buildSweepJobs(allAliases(), {Technique::Baseline},
+                       scale.screenWidth, scale.screenHeight,
+                       scale.frames);
+    const std::vector<SimResult> results =
+        ParallelRunner(scale.jobs).run(jobs);
+
     std::vector<double> games;
-    for (const std::string &alias : allAliases()) {
-        double p = averagePowerMw(alias, scale);
-        printTableRow(alias, {p}, 1);
+    for (std::size_t i = 0; i < jobs.size(); i++) {
+        double p = powerFromResult(jobs[i].workload, results[i],
+                                   jobs[i].config);
+        printTableRow(jobs[i].workload, {p}, 1);
         games.push_back(p);
     }
     printTableRow("gamesAVG", {mean(games)}, 1);

@@ -15,7 +15,7 @@
 using namespace regpu;
 
 int
-main(int argc, char **argv)
+main()
 {
     setInformEnabled(false);
     const u64 frames = 24;

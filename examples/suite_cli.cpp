@@ -7,10 +7,19 @@
  *   suite_cli [--workload ALIAS|all] [--tech base,re,te,memo]
  *             [--frames N] [--width W --height H]
  *             [--hash crc32|xor|add|fnv] [--csv FILE] [--quiet]
+ *             [--jobs N] [--seed N]
  *
  * Examples:
  *   suite_cli --workload ccs --tech base,re
  *   suite_cli --workload all --tech base,re,te,memo --csv out.csv
+ *   suite_cli --workload all --tech base,re --jobs 4
+ *
+ * --jobs N runs the (workload x technique) sweep on N worker threads
+ * (0 = all cores). Output and CSV are bit-identical for any N.
+ * --seed N derives a distinct content seed per workload (any N,
+ * including 1); techniques of the same workload always share a seed
+ * for fairness. Without the flag every workload uses the legacy
+ * shared seed 1.
  */
 
 #include <cstdio>
@@ -19,6 +28,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "sim/parallel_runner.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
 #include "workloads/workloads.hh"
@@ -38,6 +48,11 @@ struct CliOptions
     HashKind hash = HashKind::Crc32;
     std::string csvPath;
     bool quiet = false;
+    unsigned jobs = 1;
+    u64 seed = 1;        //!< base content seed
+    bool seedSet = false;  //!< --seed given: derive per-workload seeds
+                           //!< (fair across techniques); unset: legacy
+                           //!< shared seed 1
 };
 
 [[noreturn]] void
@@ -47,7 +62,8 @@ usage()
                  "usage: suite_cli [--workload ALIAS|all] "
                  "[--tech base,re,te,memo] [--frames N]\n"
                  "                 [--width W --height H] "
-                 "[--hash crc32|xor|add|fnv] [--csv FILE] [--quiet]\n");
+                 "[--hash crc32|xor|add|fnv] [--csv FILE] [--quiet]\n"
+                 "                 [--jobs N] [--seed N]\n");
     std::exit(2);
 }
 
@@ -119,6 +135,11 @@ parseArgs(int argc, char **argv)
             opts.csvPath = next(i);
         } else if (arg == "--quiet") {
             opts.quiet = true;
+        } else if (arg == "--jobs") {
+            opts.jobs = parseJobsArg(next(i));
+        } else if (arg == "--seed") {
+            opts.seed = parseCountArg("--seed", next(i));
+            opts.seedSet = true;
         } else {
             usage();
         }
@@ -142,33 +163,78 @@ main(int argc, char **argv)
             fatal("cannot open csv file: ", opts.csvPath);
     }
 
-    for (const std::string &alias : opts.workloads) {
-        std::vector<SimResult> results;
-        for (Technique tech : opts.techniques) {
-            GpuConfig config;
-            config.scaleResolution(opts.width, opts.height);
-            config.technique = tech;
-            auto scene = makeBenchmark(alias, config);
-            SimOptions simOpts;
-            simOpts.frames = opts.frames;
-            simOpts.hashKind = opts.hash;
-            Simulator sim(*scene, config, simOpts);
-            SimResult r = sim.run();
-            if (!opts.quiet) {
-                printRunSummary(std::cout, r, config);
-                std::cout << "\n";
-            }
-            if (csv.is_open()) {
-                writeCsvRow(csv, r, csvHeader);
-                csvHeader = false;
-            }
-            results.push_back(std::move(r));
+    // Flatten the sweep into jobs; reporting walks results in job
+    // order, so the output is identical whatever --jobs is.
+    std::vector<SimJob> jobs =
+        buildSweepJobs(opts.workloads, opts.techniques, opts.width,
+                       opts.height, opts.frames, opts.hash);
+    if (opts.seedSet) {
+        // Decorrelate content across workloads while keeping the seed
+        // identical across techniques of the same workload (fairness).
+        // Gated on the flag, not the value, so --seed 1 behaves like
+        // every other base seed.
+        for (SimJob &job : jobs)
+            job.sceneSeed = deriveJobSeed(opts.seed, job.workload);
+    }
+
+    auto reportRun = [&](SimResult &r, const GpuConfig &config) {
+        if (!opts.quiet) {
+            printRunSummary(std::cout, r, config);
+            std::cout << "\n";
         }
+        if (csv.is_open()) {
+            writeCsvRow(csv, r, csvHeader);
+            csvHeader = false;
+        }
+    };
+    auto reportComparison = [&](const std::vector<SimResult> &results) {
         if (!opts.quiet && results.size() > 1) {
             printComparison(std::cout, results);
             std::cout << "\n";
         }
+    };
+
+    ParallelRunner runner(opts.jobs);
+    const bool streaming = runner.workerCount() <= 1;
+
+    std::vector<SimResult> allResults;
+    if (!streaming)
+        allResults = runner.run(jobs);
+
+    std::vector<SimResult> sweepResults;
+    sweepResults.reserve(jobs.size());
+    std::size_t idx = 0;
+    for (std::size_t w = 0; w < opts.workloads.size(); w++) {
+        std::vector<SimResult> results;
+        for (std::size_t t = 0; t < opts.techniques.size(); t++) {
+            // With a single worker, run cells one at a time so each
+            // summary streams as soon as its run finishes.
+            SimResult r = streaming
+                ? std::move(runner.run({jobs[idx]}).front())
+                : std::move(allResults[idx]);
+            reportRun(r, jobs[idx].config);
+            results.push_back(std::move(r));
+            idx++;
+        }
+        reportComparison(results);
+        for (SimResult &r : results)
+            sweepResults.push_back(std::move(r));
     }
+
+    if (!opts.quiet && sweepResults.size() > 1) {
+        const SimResult agg = mergeResults(sweepResults);
+        std::cout << "== sweep aggregate: " << agg.workload << " ("
+                  << sweepResults.size() << " runs, " << agg.frames
+                  << " frames) ==\n"
+                  << "cycles " << agg.totalCycles() << ", energy "
+                  << agg.energy.total() / 1e9 << " mJ, dram "
+                  << agg.traffic.total() / (1024.0 * 1024.0)
+                  << " MB, tiles " << agg.tilesRendered << "/"
+                  << agg.tilesTotal << " rendered ("
+                  << agg.tilesSkippedByRe << " eliminated), fragments "
+                  << agg.fragmentsShaded << " shaded\n";
+    }
+
     if (csv.is_open())
         std::cout << "wrote " << opts.csvPath << "\n";
     return 0;

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+#
+# Tier-1 verification — the CI entry point.
+#
+# Configures, builds (-Wall -Wextra, warnings are the build's problem
+# to stay clean of), runs every registered ctest suite, and finishes
+# with a suite_cli determinism smoke: a parallel sweep must emit a CSV
+# bit-identical to the sequential one.
+#
+# Usage:
+#   scripts/check.sh             # full tier-1 verify
+#   scripts/check.sh --unit      # configure + build + unit-label tests only
+#
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+LABEL_ARGS=()
+if [[ "${1:-}" == "--unit" ]]; then
+    LABEL_ARGS=(-L unit)
+fi
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S .
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+echo "== ctest =="
+(cd "$BUILD_DIR" && ctest --output-on-failure -j"$(nproc)" "${LABEL_ARGS[@]}")
+
+if [[ "${1:-}" != "--unit" ]]; then
+    echo "== suite_cli parallel determinism smoke =="
+    seq_csv=$(mktemp)
+    par_csv=$(mktemp)
+    trap 'rm -f "$seq_csv" "$par_csv"' EXIT
+    "$BUILD_DIR"/suite_cli --workload all --tech base,re --frames 6 \
+        --width 256 --height 160 --quiet --csv "$seq_csv" --jobs 1
+    "$BUILD_DIR"/suite_cli --workload all --tech base,re --frames 6 \
+        --width 256 --height 160 --quiet --csv "$par_csv" --jobs 4
+    cmp "$seq_csv" "$par_csv"
+    echo "parallel sweep CSV is bit-identical to sequential"
+fi
+
+echo "== OK =="

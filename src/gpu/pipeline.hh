@@ -35,15 +35,17 @@ class PipelineHooks
 
     /** Frame is starting. @param reSafe false when the driver saw
      *  global-state uploads and techniques must disable themselves. */
-    virtual void frameBegin(u64 frameIndex, bool reSafe) {}
+    virtual void frameBegin(u64 /*frameIndex*/, bool /*reSafe*/) {}
 
     /** The Command Processor resolved a drawcall's constants. */
-    virtual void onDrawcallConstants(u32 drawIndex, const DrawCall &draw) {}
+    virtual void
+    onDrawcallConstants(u32 /*drawIndex*/, const DrawCall & /*draw*/)
+    {}
 
     /** The Polygon List Builder sorted one primitive. */
     virtual void
-    onPrimitiveBinned(const Primitive &prim, const DrawCall &draw,
-                      const std::vector<TileId> &tiles)
+    onPrimitiveBinned(const Primitive & /*prim*/, const DrawCall & /*draw*/,
+                      const std::vector<TileId> & /*tiles*/)
     {}
 
     /** Geometry done; Raster Pipeline about to start visiting tiles. */
@@ -51,13 +53,13 @@ class PipelineHooks
 
     /** Should this tile's Raster Pipeline execution run at all?
      *  (Rendering Elimination answers false for redundant tiles.) */
-    virtual bool shouldRenderTile(TileId tile) { return true; }
+    virtual bool shouldRenderTile(TileId /*tile*/) { return true; }
 
     /** Tile rendered; should its colors be flushed to the Frame
      *  Buffer? (Transaction Elimination answers false on signature
      *  match.) */
     virtual bool
-    shouldFlushTile(TileId tile, const std::vector<Color> &colors)
+    shouldFlushTile(TileId /*tile*/, const std::vector<Color> & /*colors*/)
     {
         return true;
     }

@@ -39,7 +39,7 @@ class FragmentMemoClient
      * live contents at this point are the paired frame's fragments of
      * the same tile; implementations reload their LUT model here.
      */
-    virtual void tileBegin(TileId tile) {}
+    virtual void tileBegin(TileId /*tile*/) {}
 
     /**
      * @param signature 32-bit hash of the fragment's shader inputs

@@ -72,7 +72,7 @@ class RenderingElimination : public PipelineHooks
     }
 
     void
-    onDrawcallConstants(u32 drawIndex, const DrawCall &draw) override
+    onDrawcallConstants(u32 /*drawIndex*/, const DrawCall &draw) override
     {
         if (!enabled)
             return;

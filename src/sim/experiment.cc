@@ -2,9 +2,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/logging.hh"
+#include "sim/parallel_runner.hh"
 
 namespace regpu
 {
@@ -24,6 +26,8 @@ ExperimentScale::fromArgs(int argc, char **argv)
             s.frames = 50;
         } else if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc) {
             s.frames = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            s.jobs = parseJobsArg(argv[++i]);
         }
     }
     return s;
@@ -43,21 +47,20 @@ runSuite(const std::vector<std::string> &aliases,
          const std::vector<Technique> &techniques,
          const ExperimentScale &scale, HashKind hashKind)
 {
+    const std::vector<SimJob> jobs =
+        buildSweepJobs(aliases, techniques, scale.screenWidth,
+                       scale.screenHeight, scale.frames, hashKind);
+
+    ParallelRunner runner(scale.jobs);
+    std::vector<SimResult> results = runner.run(jobs);
+
     std::vector<WorkloadResults> out;
+    std::size_t idx = 0;
     for (const std::string &alias : aliases) {
         WorkloadResults wr;
         wr.alias = alias;
-        for (Technique tech : techniques) {
-            GpuConfig config;
-            config.scaleResolution(scale.screenWidth, scale.screenHeight);
-            config.technique = tech;
-            auto scene = makeBenchmark(alias, config);
-            SimOptions opts;
-            opts.frames = scale.frames;
-            opts.hashKind = hashKind;
-            Simulator sim(*scene, config, opts);
-            wr.byTechnique.emplace(tech, sim.run());
-        }
+        for (Technique tech : techniques)
+            wr.byTechnique.emplace(tech, std::move(results[idx++]));
         out.push_back(std::move(wr));
     }
     return out;

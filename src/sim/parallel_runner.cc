@@ -1,0 +1,226 @@
+#include "sim/parallel_runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace regpu
+{
+
+u64
+deriveJobSeed(u64 baseSeed, const std::string &alias, u64 salt)
+{
+    // FNV-1a over the alias, then a splitmix64 finalizer so that
+    // single-bit differences in (base, alias, salt) flip about half
+    // the output bits.
+    u64 h = 14695981039346656037ull;
+    for (char c : alias) {
+        h ^= static_cast<u8>(c);
+        h *= 1099511628211ull;
+    }
+    u64 z = baseSeed + 0x9e3779b97f4a7c15ull * (salt + 1) + h;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+u64
+parseCountArg(const char *flag, const char *text)
+{
+    // strtoull accepts leading whitespace and a sign, silently
+    // wrapping negatives modulo 2^64 — demand a plain digit first.
+    if (text[0] < '0' || text[0] > '9')
+        fatal(flag, " expects a number, got: ", text);
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE)
+        fatal(flag, " expects a number, got: ", text);
+    return v;
+}
+
+unsigned
+parseJobsArg(const char *text)
+{
+    const u64 v = parseCountArg("--jobs", text);
+    if (v > std::numeric_limits<unsigned>::max())
+        fatal("--jobs expects a number, got: ", text);
+    return static_cast<unsigned>(v);
+}
+
+std::vector<SimJob>
+buildSweepJobs(const std::vector<std::string> &aliases,
+               const std::vector<Technique> &techniques,
+               u32 screenWidth, u32 screenHeight, u64 frames,
+               HashKind hashKind, u64 sceneSeed)
+{
+    std::vector<SimJob> jobs;
+    jobs.reserve(aliases.size() * techniques.size());
+    for (const std::string &alias : aliases) {
+        for (Technique tech : techniques) {
+            SimJob job;
+            job.workload = alias;
+            job.config.scaleResolution(screenWidth, screenHeight);
+            job.config.technique = tech;
+            job.options.frames = frames;
+            job.options.hashKind = hashKind;
+            job.sceneSeed = sceneSeed;
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+ParallelRunner::ParallelRunner(unsigned jobs)
+    : workers(jobs)
+{
+    if (workers == 0) {
+        workers = std::thread::hardware_concurrency();
+        if (workers == 0)
+            workers = 1;
+    }
+}
+
+std::vector<SimResult>
+ParallelRunner::run(const std::vector<SimJob> &jobs) const
+{
+    std::vector<SimResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    // Reject unknown aliases on the calling thread: fatal() calls
+    // std::exit(), which must never run on a worker while siblings
+    // are mid-simulation.
+    for (const SimJob &job : jobs) {
+        const auto &suite = benchmarkSuite();
+        if (std::none_of(suite.begin(), suite.end(),
+                         [&](const BenchmarkInfo &b)
+                         { return b.alias == job.workload; }))
+            fatal("unknown benchmark alias: ", job.workload);
+    }
+
+    auto runOne = [&](std::size_t i) {
+        const SimJob &job = jobs[i];
+        auto scene = makeBenchmark(job.workload, job.config,
+                                   job.sceneSeed);
+        Simulator sim(*scene, job.config, job.options);
+        results[i] = sim.run();
+    };
+
+    const unsigned pool =
+        static_cast<unsigned>(std::min<std::size_t>(workers, jobs.size()));
+    if (pool <= 1) {
+        for (std::size_t i = 0; i < jobs.size(); i++)
+            runOne(i);
+        return results;
+    }
+
+    std::atomic<std::size_t> nextJob{0};
+    std::exception_ptr firstError;
+    std::mutex errorMutex;
+
+    auto workerLoop = [&]() {
+        while (true) {
+            const std::size_t i =
+                nextJob.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                return;
+            try {
+                runOne(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(pool);
+    for (unsigned t = 0; t < pool; t++)
+        threads.emplace_back(workerLoop);
+    for (auto &t : threads)
+        t.join();
+
+    if (firstError)
+        std::rethrow_exception(firstError);
+    return results;
+}
+
+SimResult
+mergeResults(const std::vector<SimResult> &results)
+{
+    SimResult merged;
+    if (results.empty())
+        return merged;
+
+    merged.workload = results.front().workload;
+    merged.technique = results.front().technique;
+
+    bool mixedTechniques = false;
+    double equalPctWeighted = 0;
+    for (const SimResult &r : results) {
+        if (r.workload != merged.workload)
+            merged.workload = "merged";
+        if (r.technique != merged.technique)
+            mixedTechniques = true;
+
+        merged.frames += r.frames;
+        merged.geometryCycles += r.geometryCycles;
+        merged.rasterCycles += r.rasterCycles;
+
+        merged.energy.gpuDynamic += r.energy.gpuDynamic;
+        merged.energy.gpuStatic += r.energy.gpuStatic;
+        merged.energy.memDynamic += r.energy.memDynamic;
+        merged.energy.memStatic += r.energy.memStatic;
+
+        for (int c = 0; c < 4; c++)
+            merged.traffic.bytes[c] += r.traffic.bytes[c];
+
+        merged.tileClasses.comparedTiles += r.tileClasses.comparedTiles;
+        merged.tileClasses.equalColorsEqualInputs +=
+            r.tileClasses.equalColorsEqualInputs;
+        merged.tileClasses.equalColorsDiffInputs +=
+            r.tileClasses.equalColorsDiffInputs;
+        merged.tileClasses.diffColorsDiffInputs +=
+            r.tileClasses.diffColorsDiffInputs;
+        merged.tileClasses.diffColorsEqualInputs +=
+            r.tileClasses.diffColorsEqualInputs;
+
+        merged.tilesTotal += r.tilesTotal;
+        merged.tilesRendered += r.tilesRendered;
+        merged.tilesSkippedByRe += r.tilesSkippedByRe;
+        merged.tileFlushesEliminated += r.tileFlushesEliminated;
+        merged.fragmentsShaded += r.fragmentsShaded;
+        merged.fragmentsMemoReused += r.fragmentsMemoReused;
+        merged.signatureStallCycles += r.signatureStallCycles;
+        merged.reFalsePositives += r.reFalsePositives;
+
+        equalPctWeighted +=
+            r.equalTilesConsecutivePct * static_cast<double>(r.frames);
+
+        for (const auto &[name, val] : r.stats.allCounters())
+            merged.stats.inc(name, val);
+        for (const auto &[name, val] : r.stats.allScalars())
+            merged.stats.add(name, val);
+    }
+    if (merged.frames > 0)
+        merged.equalTilesConsecutivePct =
+            equalPctWeighted / static_cast<double>(merged.frames);
+    // Technique is an enum with no "mixed" value; flag the span in
+    // the label so no report row attributes the aggregate to the
+    // first technique alone.
+    if (mixedTechniques)
+        merged.workload += " (mixed techniques)";
+    return merged;
+}
+
+} // namespace regpu

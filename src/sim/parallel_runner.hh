@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Multithreaded experiment driver.
+ *
+ * A simulation sweep is embarrassingly parallel: every
+ * (workload x technique x config) cell is an independent Simulator
+ * run with its own Scene, MemSystem and StatRegistry. The runner
+ * schedules those cells on a fixed worker pool and writes each result
+ * into the slot matching its job index, so the output — and any
+ * aggregation folded over it — is bit-identical for every worker
+ * count, including 1.
+ *
+ * Determinism contract:
+ *  - scene content is generated from SimJob::sceneSeed only (use
+ *    deriveJobSeed() to give sweep cells distinct but reproducible
+ *    content);
+ *  - the Simulator itself is single-threaded and owns all its state;
+ *  - results are stored by job index, never by completion order.
+ */
+
+#ifndef REGPU_SIM_PARALLEL_RUNNER_HH
+#define REGPU_SIM_PARALLEL_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace regpu
+{
+
+/** One independent simulation cell of a sweep. */
+struct SimJob
+{
+    std::string workload;  //!< benchmark alias for makeBenchmark()
+    GpuConfig config;      //!< resolution and technique fully set
+    SimOptions options;
+    u64 sceneSeed = 1;     //!< content seed; keep fixed across
+                           //!< techniques so comparisons are fair
+};
+
+/**
+ * Mix @p baseSeed with a workload alias (and an optional salt such as
+ * a repetition index) into a per-job scene seed. splitmix64-style
+ * finalization keeps nearby inputs decorrelated while staying
+ * bit-reproducible across platforms.
+ */
+u64 deriveJobSeed(u64 baseSeed, const std::string &alias, u64 salt = 0);
+
+/**
+ * Strict decimal parse of a numeric CLI flag value. A typo must not
+ * silently become 0 or a partial prefix — anything that is not a
+ * plain in-range decimal calls fatal() naming @p flag.
+ */
+u64 parseCountArg(const char *flag, const char *text);
+
+/** parseCountArg specialised for --jobs (must also fit unsigned). */
+unsigned parseJobsArg(const char *text);
+
+/**
+ * Flatten a (workload x technique) sweep into a job vector, outer
+ * loop over aliases, inner over techniques. Every cell shares the
+ * same scene seed so techniques see identical content.
+ */
+std::vector<SimJob>
+buildSweepJobs(const std::vector<std::string> &aliases,
+               const std::vector<Technique> &techniques,
+               u32 screenWidth, u32 screenHeight, u64 frames,
+               HashKind hashKind = HashKind::Crc32, u64 sceneSeed = 1);
+
+/**
+ * Fixed-size worker pool over a job vector.
+ */
+class ParallelRunner
+{
+  public:
+    /** @param jobs worker threads; 0 means hardware concurrency. */
+    explicit ParallelRunner(unsigned jobs = 1);
+
+    /** Worker threads the pool will actually spawn. */
+    unsigned workerCount() const { return workers; }
+
+    /**
+     * Run every job and return results in job order. Unknown workload
+     * aliases are rejected with fatal() on the calling thread before
+     * any worker starts; any exception thrown by a running job is
+     * captured and rethrown on the caller thread after the pool
+     * drains.
+     */
+    std::vector<SimResult> run(const std::vector<SimJob> &jobs) const;
+
+  private:
+    unsigned workers;
+};
+
+/**
+ * Fold a result vector into one aggregate SimResult (left fold in
+ * vector order, so the merge is independent of how the results were
+ * produced). Counters, cycles, energy, traffic and the raw stat
+ * registries are summed; equalTilesConsecutivePct is re-averaged
+ * weighted by frame count. The workload field becomes the common
+ * alias, or "merged" when the inputs span several workloads; when the
+ * inputs span several techniques the label gains a " (mixed
+ * techniques)" suffix (the technique field keeps the first input's
+ * value — the enum has no mixed state).
+ */
+SimResult mergeResults(const std::vector<SimResult> &results);
+
+} // namespace regpu
+
+#endif // REGPU_SIM_PARALLEL_RUNNER_HH

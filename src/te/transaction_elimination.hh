@@ -37,7 +37,7 @@ class TransactionElimination : public PipelineHooks
     {}
 
     void
-    frameBegin(u64 frameIndex, bool reSafe) override
+    frameBegin(u64 /*frameIndex*/, bool /*reSafe*/) override
     {
         buffer.rotate();
         // TE hashes *output* colors, so global-state changes do not
