@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "common/rng.hh"
@@ -88,6 +90,104 @@ BM_Crc32Reference(benchmark::State &state)
         static_cast<i64>(state.iterations()) * state.range(0));
 }
 BENCHMARK(BM_Crc32Reference)->Arg(144);
+
+// One-shot tabular CRC through the slice-by-8 streaming core. The
+// aligned sizes are directly comparable with the retired
+// zero-padding implementation (same message, same block count); the
+// unaligned sizes additionally exercise the byte-serial tail.
+static void
+BM_Crc32Tabular(benchmark::State &state)
+{
+    auto msg = randomBytes(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(crc32Tabular(msg));
+    state.SetBytesProcessed(
+        static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32Tabular)
+    ->Arg(64)->Arg(144)->Arg(1024)        // 8-byte-multiple inputs
+    ->Arg(20)->Arg(28)->Arg(70)->Arg(1001); // unaligned tails
+
+// The fragment-signature shape: serialise ~28 bytes of shader inputs
+// into a fixed stack buffer and hash once. This is the per-fragment
+// hot path of the memoization comparison point.
+static void
+BM_Crc32FragmentShapeStackBuffer(benchmark::State &state)
+{
+    Rng rng(7);
+    u32 words[7];
+    for (auto &w : words)
+        w = static_cast<u32>(rng.next());
+    for (auto _ : state) {
+        u8 buf[28];
+        for (int i = 0; i < 7; i++) {
+            std::memcpy(buf + 4 * i, &words[i], 4);
+            words[i] += 0x9e3779b9u;
+        }
+        benchmark::DoNotOptimize(crc32Tabular({buf, 28}));
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 28);
+}
+BENCHMARK(BM_Crc32FragmentShapeStackBuffer);
+
+// The retired shape of the same computation: build a throwaway
+// std::vector<u8> message per signature. The delta against the
+// stack-buffer variant is the per-signature allocation cost the
+// streaming subsystem removed.
+static void
+BM_Crc32FragmentShapeHeapVector(benchmark::State &state)
+{
+    Rng rng(7);
+    u32 words[7];
+    for (auto &w : words)
+        w = static_cast<u32>(rng.next());
+    for (auto _ : state) {
+        std::vector<u8> buf(28);
+        for (int i = 0; i < 7; i++) {
+            std::memcpy(buf.data() + 4 * i, &words[i], 4);
+            words[i] += 0x9e3779b9u;
+        }
+        benchmark::DoNotOptimize(crc32Tabular(buf));
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 28);
+}
+BENCHMARK(BM_Crc32FragmentShapeHeapVector);
+
+// Incremental streaming in small chunks (the TE tile-color path
+// feeds 64-byte stack chunks).
+static void
+BM_Crc32StreamChunked(benchmark::State &state)
+{
+    auto msg = randomBytes(1024);
+    const std::size_t chunk = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        Crc32Stream stream;
+        std::size_t pos = 0;
+        while (pos < msg.size()) {
+            std::size_t take = std::min(chunk, msg.size() - pos);
+            stream.update({msg.data() + pos, take});
+            pos += take;
+        }
+        benchmark::DoNotOptimize(stream.value());
+    }
+    state.SetBytesProcessed(
+        static_cast<i64>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Crc32StreamChunked)->Arg(64)->Arg(20);
+
+// Byte-exact combine (Algorithm 1) at the Signature Unit's real block
+// lengths: 70-byte constants, 144-byte primitive attributes.
+static void
+BM_Crc32CombineBytes(benchmark::State &state)
+{
+    u32 a = 0x12345678, b = 0x9abcdef0;
+    const u64 lenB = static_cast<u64>(state.range(0));
+    for (auto _ : state) {
+        a = crc32Combine(a, b, lenB);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_Crc32CombineBytes)->Arg(70)->Arg(144);
 
 static void
 BM_HashBlock(benchmark::State &state)

@@ -7,15 +7,42 @@
 # with a suite_cli determinism smoke: a parallel sweep must emit a CSV
 # bit-identical to the sequential one.
 #
+# A second configuration builds the library and tests with
+# ASan + UBSan (-DREGPU_SANITIZE=ON) and re-runs the unit suites, so
+# the MemoLut-style UB class (zero-division in set-index math, OOB
+# reads) is caught mechanically, not by review.
+#
 # Usage:
-#   scripts/check.sh             # full tier-1 verify
+#   scripts/check.sh             # full tier-1 verify (incl. sanitize pass)
 #   scripts/check.sh --unit      # configure + build + unit-label tests only
+#   scripts/check.sh --sanitize  # only the ASan+UBSan build + unit tests
 #
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
+SANITIZE_DIR=build-sanitize
+
+run_sanitize_pass() {
+    echo "== sanitize configure (ASan + UBSan) =="
+    cmake -B "$SANITIZE_DIR" -S . -DREGPU_SANITIZE=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DREGPU_BUILD_BENCHES=OFF -DREGPU_BUILD_EXAMPLES=OFF
+
+    echo "== sanitize build =="
+    cmake --build "$SANITIZE_DIR" -j"$(nproc)"
+
+    echo "== sanitize ctest (unit) =="
+    (cd "$SANITIZE_DIR" && ctest --output-on-failure -j"$(nproc)" -L unit)
+}
+
+if [[ "${1:-}" == "--sanitize" ]]; then
+    run_sanitize_pass
+    echo "== OK =="
+    exit 0
+fi
+
 LABEL_ARGS=()
 if [[ "${1:-}" == "--unit" ]]; then
     LABEL_ARGS=(-L unit)
@@ -41,6 +68,8 @@ if [[ "${1:-}" != "--unit" ]]; then
         --width 256 --height 160 --quiet --csv "$par_csv" --jobs 4
     cmp "$seq_csv" "$par_csv"
     echo "parallel sweep CSV is bit-identical to sequential"
+
+    run_sanitize_pass
 fi
 
 echo "== OK =="

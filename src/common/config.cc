@@ -1,5 +1,7 @@
 #include "common/config.hh"
 
+#include "common/logging.hh"
+
 namespace regpu
 {
 
@@ -17,6 +19,31 @@ techniqueName(Technique t)
         return "Memo";
     }
     return "?";
+}
+
+void
+validateMemoLutGeometry(u32 entries, u32 ways, const char *context)
+{
+    if (ways == 0)
+        fatal(context, ": memo LUT ways must be >= 1 (got 0)");
+    if (entries < ways)
+        fatal(context, ": memo LUT entries (", entries,
+              ") must be >= ways (", ways, ")");
+    if (entries % ways != 0)
+        fatal(context, ": memo LUT entries (", entries,
+              ") must be a multiple of ways (", ways, ")");
+}
+
+void
+GpuConfig::validate() const
+{
+    if (tileWidth == 0 || tileHeight == 0)
+        fatal("GpuConfig: tile dimensions must be non-zero (got ",
+              tileWidth, "x", tileHeight, ")");
+    if (screenWidth == 0 || screenHeight == 0)
+        fatal("GpuConfig: screen dimensions must be non-zero (got ",
+              screenWidth, "x", screenHeight, ")");
+    validateMemoLutGeometry(memoLutEntries, memoLutWays, "GpuConfig");
 }
 
 void

@@ -39,6 +39,16 @@ enum class Technique
 const char *techniqueName(Technique t);
 
 /**
+ * Shared guard for memoization-LUT geometry: fatal() when @p ways is
+ * zero, @p entries < @p ways, or @p entries is not a multiple of
+ * @p ways (any of which would make the LUT's set-index arithmetic
+ * undefined or silently lossy). @p context prefixes the error
+ * message. Used by GpuConfig::validate and the MemoLut constructor.
+ */
+void validateMemoLutGeometry(u32 entries, u32 ways,
+                             const char *context);
+
+/**
  * Full simulation configuration. Defaults reproduce Table I.
  */
 struct GpuConfig
@@ -136,6 +146,14 @@ struct GpuConfig
         screenWidth = w;
         screenHeight = h;
     }
+
+    /**
+     * Fail fast (fatal) on configurations that would be undefined
+     * behaviour downstream: zero tile/screen dimensions, or memoization
+     * LUT geometry with zero ways / fewer entries than ways / a
+     * non-multiple entry count (MemoLut would compute `sig % 0`).
+     */
+    void validate() const;
 
     /** Print a Table I-style summary. */
     void print(std::ostream &os) const;

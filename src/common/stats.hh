@@ -12,6 +12,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <string_view>
 
 #include "common/types.hh"
 
@@ -22,27 +23,41 @@ namespace regpu
  * A registry of named 64-bit counters and double-valued scalars.
  * Not a singleton: each simulator instance owns one so that parallel
  * experiments do not interfere.
+ *
+ * Lookups are heterogeneous (string_view against the transparent
+ * std::less<> comparator), so updating an existing counter from a
+ * string literal never materialises a temporary std::string: inc() on
+ * the per-tile/per-primitive hot paths is allocation-free once a
+ * counter exists.
  */
 class StatRegistry
 {
   public:
     /** Add to (creating if absent) a counter. */
     void
-    inc(const std::string &name, u64 delta = 1)
+    inc(std::string_view name, u64 delta = 1)
     {
-        counters[name] += delta;
+        auto it = counters.find(name);
+        if (it == counters.end())
+            counters.emplace(std::string(name), delta);
+        else
+            it->second += delta;
     }
 
     /** Add to (creating if absent) a floating-point scalar. */
     void
-    add(const std::string &name, double delta)
+    add(std::string_view name, double delta)
     {
-        scalars[name] += delta;
+        auto it = scalars.find(name);
+        if (it == scalars.end())
+            scalars.emplace(std::string(name), delta);
+        else
+            it->second += delta;
     }
 
     /** Read a counter (0 if absent). */
     u64
-    counter(const std::string &name) const
+    counter(std::string_view name) const
     {
         auto it = counters.find(name);
         return it == counters.end() ? 0 : it->second;
@@ -50,7 +65,7 @@ class StatRegistry
 
     /** Read a scalar (0.0 if absent). */
     double
-    scalar(const std::string &name) const
+    scalar(std::string_view name) const
     {
         auto it = scalars.find(name);
         return it == scalars.end() ? 0.0 : it->second;
@@ -74,14 +89,14 @@ class StatRegistry
             os << name << " " << val << "\n";
     }
 
-    const std::map<std::string, u64> &allCounters() const
+    const std::map<std::string, u64, std::less<>> &allCounters() const
     { return counters; }
-    const std::map<std::string, double> &allScalars() const
+    const std::map<std::string, double, std::less<>> &allScalars() const
     { return scalars; }
 
   private:
-    std::map<std::string, u64> counters;
-    std::map<std::string, double> scalars;
+    std::map<std::string, u64, std::less<>> counters;
+    std::map<std::string, double, std::less<>> scalars;
 };
 
 } // namespace regpu

@@ -95,29 +95,15 @@ CrcTables::instance()
 u32
 crc32Tabular(std::span<const u8> message)
 {
-    const CrcTables &t = CrcTables::instance();
-    u32 crc = 0;
-    std::size_t i = 0;
-    while (i < message.size()) {
-        u64 block = 0;
-        for (int b = 0; b < 8; b++) {
-            u8 byte = (i + b < message.size()) ? message[i + b] : 0;
-            block = (block << 8) | byte;
-        }
-        crc = t.shift64(crc) ^ t.signBlock64(block);
-        i += 8;
-    }
-    return crc;
+    Crc32Stream stream;
+    stream.update(message);
+    return stream.value();
 }
 
 u32
-crc32Combine(u32 crcA, u32 crcB, u32 blocks64OfB)
+crc32Combine(u32 crcA, u32 crcB, u64 bytesOfB)
 {
-    const CrcTables &t = CrcTables::instance();
-    u32 shifted = crcA;
-    for (u32 k = 0; k < blocks64OfB; k++)
-        shifted = t.shift64(shifted);
-    return shifted ^ crcB;
+    return CrcTables::instance().shiftBytes(crcA, bytesOfB) ^ crcB;
 }
 
 } // namespace regpu

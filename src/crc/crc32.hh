@@ -9,16 +9,23 @@
  * with the non-reflected CRC-32 generator G = 0x04C11DB7, zero initial
  * value and no final XOR. Under this convention concatenation obeys
  *
- *     F(A || B) = F(A) * x^|B|  xor  F(B)        (paper Algorithm 1)
+ *     F(A || B) = F(A) * x^(8*|B|)  xor  F(B)      (paper Algorithm 1)
  *
- * so a message can be signed incrementally from sub-messages of a priori
- * unknown count, which is exactly what the Signature Unit requires: the
- * primitives overlapping a tile only become known as the Polygon List
- * Builder sorts the frame's geometry.
+ * with |B| in bytes, so a message can be signed incrementally from
+ * sub-messages of a priori unknown count, which is exactly what the
+ * Signature Unit requires: the primitives overlapping a tile only
+ * become known as the Polygon List Builder sorts the frame's geometry.
  *
- * Multiplication by x^k (k a multiple of 64 here) is implemented with
- * small per-byte LUTs, mirroring the parallel table-based hardware of
- * Sun & Kim that the paper adopts (Figs. 10 and 11).
+ * Every function here is length-exact: F of a 3-byte message is the
+ * CRC of those 3 bytes, not of the message zero-padded to a 64-bit
+ * boundary. (An earlier revision padded the tail, which made messages
+ * differing only in trailing zero bytes alias; the contract now is
+ * bitwise equality with crc32Reference for every byte length.)
+ *
+ * Multiplication by x^k is implemented with small per-byte LUTs,
+ * mirroring the parallel table-based hardware of Sun & Kim that the
+ * paper adopts (Figs. 10 and 11); the sub-64-bit tail factors reuse
+ * the same sign LUTs one byte at a time.
  */
 
 #ifndef REGPU_CRC_CRC32_HH
@@ -26,6 +33,7 @@
 
 #include <array>
 #include <cstddef>
+#include <cstring>
 #include <span>
 
 #include "common/types.hh"
@@ -35,6 +43,31 @@ namespace regpu
 
 /** The CRC-32 generator polynomial (x^32 implied leading term). */
 constexpr u32 crcPolynomial = 0x04C11DB7u;
+
+/**
+ * Append a 32-bit value to any byte stream (anything with
+ * update(span<const u8>)) in little-endian order - the layout every
+ * serializer in the pipeline uses. Single definition shared by
+ * Crc32Stream and HashStream so their wire formats cannot diverge.
+ */
+template <typename Stream>
+inline void
+streamPutU32(Stream &stream, u32 v)
+{
+    u8 b[4] = {static_cast<u8>(v), static_cast<u8>(v >> 8),
+               static_cast<u8>(v >> 16), static_cast<u8>(v >> 24)};
+    stream.update({b, 4});
+}
+
+/** Append a float's exact bit pattern (little-endian). */
+template <typename Stream>
+inline void
+streamPutF32(Stream &stream, float f)
+{
+    u32 bits;
+    std::memcpy(&bits, &f, 4);
+    streamPutU32(stream, bits);
+}
 
 /**
  * Multiply two polynomials modulo G (carry-less multiply + reduce).
@@ -93,6 +126,35 @@ class CrcTables
     }
 
     /**
+     * Slice-by-8 fast path: one step of appending a full 64-bit block
+     * to a running CRC. Because the sign LUTs are linear over XOR and
+     * crc * x^64 equals F(crc placed in the block's leading 4 bytes),
+     *
+     *     shift64(crc) ^ signBlock64(block)
+     *         == signBlock64(block ^ (crc << 32))
+     *
+     * which folds the running CRC into the sign lookups for free:
+     * 8 LUT reads per 8 bytes instead of 12.
+     */
+    u32
+    appendBlock64(u32 crc, u64 block) const
+    {
+        return signBlock64(block ^ (static_cast<u64>(crc) << 32));
+    }
+
+    /**
+     * Append one byte to a running CRC (the standard MSB-first
+     * table-driven step): crc * x^8 ^ b * x^32, both factors served by
+     * signLut[7] (whose entries are exactly t(x) * x^32 mod G).
+     */
+    u32
+    appendByte(u32 crc, u8 byte) const
+    {
+        return (crc << 8)
+            ^ signLut[7][static_cast<u8>((crc >> 24) ^ byte)];
+    }
+
+    /**
      * crc * x^64 mod G: four parallel LUT reads XOR-combined
      * (the Shift subunit, Fig. 11).
      */
@@ -107,6 +169,22 @@ class CrcTables
         return out;
     }
 
+    /**
+     * crc * x^(8*bytes) mod G for an arbitrary byte count: whole
+     * 64-bit shifts through the Shift subunit, then per-byte position
+     * factors for the sub-block tail (appendByte with a zero byte is
+     * exactly multiplication by x^8).
+     */
+    u32
+    shiftBytes(u32 crc, u64 bytes) const
+    {
+        for (u64 k = 0; k < bytes / 8; k++)
+            crc = shift64(crc);
+        for (u64 k = 0; k < bytes % 8; k++)
+            crc = appendByte(crc, 0);
+        return crc;
+    }
+
     /** Total LUT storage in bytes (area accounting). */
     static constexpr u64
     storageBytes()
@@ -119,17 +197,77 @@ class CrcTables
 };
 
 /**
- * Convenience: F over an arbitrary-length byte message using the
- * table-based units, zero-padding the tail to a 64-bit boundary the
- * same way the Signature Unit datapath does.
+ * Incremental CRC-32 over a byte stream: init / update / value, no
+ * heap allocation, no internal buffering. Any segmentation of the
+ * message into update() calls yields the same CRC as one shot, and
+ * the result is bitwise equal to crc32Reference for every length.
+ *
+ * Full 64-bit groups go through the slice-by-8 fast path (8 LUT reads
+ * per 8 bytes); sub-block tails fall back to the byte-serial step.
+ */
+class Crc32Stream
+{
+  public:
+    Crc32Stream() : tables(CrcTables::instance()) {}
+
+    void
+    reset()
+    {
+        crc_ = 0;
+        length_ = 0;
+    }
+
+    /** Append @p bytes to the message. */
+    void
+    update(std::span<const u8> bytes)
+    {
+        const u8 *p = bytes.data();
+        std::size_t n = bytes.size();
+        length_ += n;
+        while (n >= 8) {
+            u64 block = 0;
+            for (int i = 0; i < 8; i++)
+                block = (block << 8) | p[i];
+            crc_ = tables.appendBlock64(crc_, block);
+            p += 8;
+            n -= 8;
+        }
+        while (n > 0) {
+            crc_ = tables.appendByte(crc_, *p++);
+            n--;
+        }
+    }
+
+    /** Append a 32-bit value, little-endian byte order. */
+    void putU32(u32 v) { streamPutU32(*this, v); }
+
+    /** Append a float's exact bit pattern. */
+    void putF32(float f) { streamPutF32(*this, f); }
+
+    /** The CRC of everything streamed so far (== crc32Reference). */
+    u32 value() const { return crc_; }
+
+    /** Message length streamed so far, in bytes. */
+    u64 lengthBytes() const { return length_; }
+
+  private:
+    const CrcTables &tables;
+    u32 crc_ = 0;
+    u64 length_ = 0;
+};
+
+/**
+ * One-shot F over an arbitrary-length byte message using the
+ * table-based units. Length-exact: equals crc32Reference for every
+ * byte length (no tail padding).
  */
 u32 crc32Tabular(std::span<const u8> message);
 
 /**
  * Combine per Algorithm 1: signature of (A || B) given F(A), F(B) and
- * |B| expressed in 64-bit blocks.
+ * |B| in **bytes** (byte-exact; B need not be 64-bit aligned).
  */
-u32 crc32Combine(u32 crcA, u32 crcB, u32 blocks64OfB);
+u32 crc32Combine(u32 crcA, u32 crcB, u64 bytesOfB);
 
 } // namespace regpu
 

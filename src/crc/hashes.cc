@@ -21,48 +21,70 @@ hashKindName(HashKind kind)
     return "?";
 }
 
-u32
-hashBlock(HashKind kind, std::span<const u8> block)
+void
+HashStream::reset()
 {
-    switch (kind) {
+    crc_.reset();
+    acc_ = kind_ == HashKind::Fnv1a ? 2166136261u : 0u;
+    length_ = 0;
+}
+
+void
+HashStream::update(std::span<const u8> bytes)
+{
+    switch (kind_) {
       case HashKind::Crc32:
-        return crc32Tabular(block);
-      case HashKind::XorFold: {
-        u32 acc = 0;
-        for (std::size_t i = 0; i < block.size(); i++)
-            acc ^= static_cast<u32>(block[i]) << (8 * (i % 4));
-        return acc;
-      }
-      case HashKind::AddFold: {
-        u32 acc = 0;
-        for (std::size_t i = 0; i < block.size(); i++)
-            acc += static_cast<u32>(block[i]) << (8 * (i % 4));
-        return acc;
-      }
-      case HashKind::Fnv1a: {
-        u32 acc = 2166136261u;
-        for (u8 byte : block) {
-            acc ^= byte;
-            acc *= 16777619u;
+        crc_.update(bytes);
+        return;
+      case HashKind::XorFold:
+        for (u8 byte : bytes) {
+            acc_ ^= static_cast<u32>(byte) << (8 * (length_ % 4));
+            length_++;
         }
-        return acc;
-      }
-      case HashKind::Trunc4: {
-        u32 acc = 0;
-        for (std::size_t i = 0; i < block.size() && i < 4; i++)
-            acc |= static_cast<u32>(block[i]) << (8 * i);
-        return acc;
-      }
+        return;
+      case HashKind::AddFold:
+        for (u8 byte : bytes) {
+            acc_ += static_cast<u32>(byte) << (8 * (length_ % 4));
+            length_++;
+        }
+        return;
+      case HashKind::Fnv1a:
+        for (u8 byte : bytes) {
+            acc_ ^= byte;
+            acc_ *= 16777619u;
+            length_++;
+        }
+        return;
+      case HashKind::Trunc4:
+        for (u8 byte : bytes) {
+            if (length_ < 4)
+                acc_ |= static_cast<u32>(byte) << (8 * length_);
+            length_++;
+        }
+        return;
     }
-    return 0;
 }
 
 u32
-hashCombine(HashKind kind, u32 tileSig, u32 blockSig, u32 blocks64OfBlock)
+HashStream::finalize() const
+{
+    return kind_ == HashKind::Crc32 ? crc_.value() : acc_;
+}
+
+u32
+hashBlock(HashKind kind, std::span<const u8> block)
+{
+    HashStream stream(kind);
+    stream.update(block);
+    return stream.finalize();
+}
+
+u32
+hashCombine(HashKind kind, u32 tileSig, u32 blockSig, u64 blockLengthBytes)
 {
     switch (kind) {
       case HashKind::Crc32:
-        return crc32Combine(tileSig, blockSig, blocks64OfBlock);
+        return crc32Combine(tileSig, blockSig, blockLengthBytes);
       case HashKind::XorFold:
         return tileSig ^ blockSig;
       case HashKind::AddFold:

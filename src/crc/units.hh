@@ -5,9 +5,11 @@
  *
  * The Compute CRC unit signs a variable-length data block (a primitive's
  * vertex attributes or a drawcall's constants) by folding fixed 64-bit
- * sub-blocks, one per cycle. The Accumulate CRC unit re-aligns a tile's
- * running signature by multiplying it by x^64 once per sub-block of the
- * newly signed block, also one step per cycle.
+ * sub-blocks, one per cycle; a final partial sub-block is folded with
+ * per-byte position factors so the signature is byte-exact (no zero
+ * padding). The Accumulate CRC unit re-aligns a tile's running
+ * signature by multiplying it by x^(8*length), one 64-bit step per
+ * cycle plus one cycle for the sub-block tail factor.
  */
 
 #ifndef REGPU_CRC_UNITS_HH
@@ -23,8 +25,15 @@ namespace regpu
 /** Result of signing one data block. */
 struct BlockSignature
 {
-    u32 crc = 0;         //!< F(block)
-    u32 shiftAmount = 0; //!< number of 64-bit sub-blocks folded
+    u32 crc = 0;        //!< F(block), byte-exact
+    u64 lengthBytes = 0; //!< block length in bytes
+
+    /** Datapath occupancy: 64-bit sub-blocks, tail included. */
+    u32
+    subBlocks() const
+    {
+        return static_cast<u32>((lengthBytes + 7) / 8);
+    }
 };
 
 /**
@@ -34,35 +43,24 @@ struct BlockSignature
 class ComputeCrcUnit
 {
   public:
-    ComputeCrcUnit() : tables(CrcTables::instance()) {}
-
     /**
-     * Sign a whole data block (zero-padded to a 64-bit boundary).
-     * @return the block's CRC and its length in sub-blocks.
+     * Sign a whole data block, byte-exact. The datapath is the shared
+     * Crc32Stream core (slice-by-8 full sub-blocks, per-byte position
+     * factors on the tail - one iteration of Algorithm 2 per
+     * sub-block); this model only adds the cycle accounting.
+     * @return the block's CRC and its length in bytes.
      */
     BlockSignature
     sign(std::span<const u8> block)
     {
-        u32 crcOut = 0;
-        u32 shiftAmount = 0;
-        std::size_t i = 0;
-        while (i < block.size()) {
-            u64 sub = 0;
-            for (int b = 0; b < 8; b++) {
-                u8 byte = (i + b < block.size()) ? block[i + b] : 0;
-                sub = (sub << 8) | byte;
-            }
-            // One iteration of Algorithm 2: Sign subunit on the new
-            // sub-block in parallel with the Shift subunit on crcOut.
-            crcOut = tables.signBlock64(sub) ^ tables.shift64(crcOut);
-            shiftAmount++;
-            i += 8;
-            cycles++;
-        }
-        return {crcOut, shiftAmount};
+        Crc32Stream stream;
+        stream.update(block);
+        BlockSignature sig{stream.value(), block.size()};
+        cycles += sig.subBlocks();
+        return sig;
     }
 
-    /** Cycles consumed so far (1 per 64-bit sub-block). */
+    /** Cycles consumed so far (1 per 64-bit sub-block, tail included). */
     Cycles busyCycles() const { return cycles; }
 
     /** Number of LUT lookups performed (12 per cycle: 8 sign + 4 shift).*/
@@ -71,26 +69,32 @@ class ComputeCrcUnit
     void resetStats() { cycles = 0; }
 
   private:
-    const CrcTables &tables;
     Cycles cycles = 0;
 };
 
 /**
  * Accumulate CRC unit (Fig. 9): multiplies a tile's stored CRC by
- * x^(64 * shiftAmount), one Shift-subunit step per cycle.
+ * x^(8 * lengthBytes), one Shift-subunit step per 64-bit sub-block
+ * plus one step for the sub-block tail's byte-granular factor.
  */
 class AccumulateCrcUnit
 {
   public:
     AccumulateCrcUnit() : tables(CrcTables::instance()) {}
 
-    /** Algorithm 3: re-align tileCrc past a block of given length. */
+    /** Algorithm 3: re-align tileCrc past a block of @p lengthBytes. */
     u32
-    accumulate(u32 tileCrc, u32 shiftAmount)
+    accumulate(u32 tileCrc, u64 lengthBytes)
     {
         u32 crc = tileCrc;
-        for (u32 k = 0; k < shiftAmount; k++) {
+        for (u64 k = 0; k < lengthBytes / 8; k++) {
             crc = tables.shift64(crc);
+            cycles++;
+        }
+        const u64 tail = lengthBytes % 8;
+        if (tail) {
+            for (u64 k = 0; k < tail; k++)
+                crc = tables.appendByte(crc, 0);
             cycles++;
         }
         return crc;

@@ -35,6 +35,9 @@ TileRenderer::fragmentSignature(const DrawCall &draw, Vec4 color,
     // reusing an only-approximately-equal color. Varyings the shader
     // ignores are excluded: a flat-shaded fragment's color does not
     // depend on them, so including them would only destroy reuse.
+    // Streamed through a fixed stack buffer: the whole serialisation
+    // is at most 4 + 16 + 16 + 12 + 4 bytes, and one crc pass over a
+    // contiguous buffer keeps the slice-by-8 path hot.
     u8 buf[4 + 4 * 4 + 4 * 4 + 2 * 4 + 4 + 4];
     u32 off = 0;
     auto put32 = [&](u32 v) {

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/logging.hh"
+
 namespace regpu
 {
 
@@ -49,8 +51,8 @@ shaderSamplesTexture(ShaderKind kind)
         || kind == ShaderKind::TexLit;
 }
 
-std::vector<u8>
-UniformSet::serialize() const
+std::size_t
+UniformSet::serializeInto(std::span<u8> out) const
 {
     // The driver only uploads the uniforms a drawcall actually sets.
     // The common command updates just the MVP (the paper's "average
@@ -59,15 +61,16 @@ UniformSet::serialize() const
     // The serialisation stays a pure function of the values, and the
     // two layouts can never collide: they have different lengths and
     // CRC-32 combining is length-aware.
-    std::vector<u8> out;
-    out.reserve(valueCount * 4);
-    auto put = [&out](float f) {
+    REGPU_ASSERT(out.size() >= maxSerializedBytes);
+    u8 *p = out.data();
+    std::size_t off = 0;
+    auto put = [&](float f) {
         u32 bits;
         std::memcpy(&bits, &f, 4);
-        out.push_back(static_cast<u8>(bits));
-        out.push_back(static_cast<u8>(bits >> 8));
-        out.push_back(static_cast<u8>(bits >> 16));
-        out.push_back(static_cast<u8>(bits >> 24));
+        p[off++] = static_cast<u8>(bits);
+        p[off++] = static_cast<u8>(bits >> 8);
+        p[off++] = static_cast<u8>(bits >> 16);
+        p[off++] = static_cast<u8>(bits >> 24);
     };
     for (int c = 0; c < 4; c++)
         for (int r = 0; r < 4; r++)
@@ -82,6 +85,14 @@ UniformSet::serialize() const
         put(lightDir.x); put(lightDir.y); put(lightDir.z);
         put(uvOffsetS); put(uvOffsetT);
     }
+    return off;
+}
+
+std::vector<u8>
+UniformSet::serialize() const
+{
+    std::vector<u8> out(maxSerializedBytes);
+    out.resize(serializeInto(out));
     return out;
 }
 

@@ -62,9 +62,20 @@ struct UniformSet
     /** Serialise to the byte stream the Signature Unit signs. */
     std::vector<u8> serialize() const;
 
+    /**
+     * Allocation-free variant: serialise into @p out (at least
+     * maxSerializedBytes long, asserted) and return the number of
+     * bytes written. Byte-identical to serialize().
+     */
+    std::size_t serializeInto(std::span<u8> out) const;
+
     /** Number of 4-byte values (the paper's "average command updates
      *  16 values" corresponds to one Mat4). */
     static constexpr u32 valueCount = 16 + 4 + 3 + 2;
+
+    /** Upper bound of the serialisation: every value present. Sizes
+     *  fixed stack buffers on the per-drawcall signature hot path. */
+    static constexpr std::size_t maxSerializedBytes = valueCount * 4;
 };
 
 /**

@@ -8,44 +8,56 @@ namespace regpu
 namespace
 {
 
-void
-putFloat(std::vector<u8> &out, float f)
+/** Append a float's bits to @p out at @p off, little-endian. */
+inline void
+putFloat(u8 *out, std::size_t &off, float f)
 {
     u32 bits;
     std::memcpy(&bits, &f, 4);
-    out.push_back(static_cast<u8>(bits));
-    out.push_back(static_cast<u8>(bits >> 8));
-    out.push_back(static_cast<u8>(bits >> 16));
-    out.push_back(static_cast<u8>(bits >> 24));
+    out[off++] = static_cast<u8>(bits);
+    out[off++] = static_cast<u8>(bits >> 8);
+    out[off++] = static_cast<u8>(bits >> 16);
+    out[off++] = static_cast<u8>(bits >> 24);
 }
 
-void
-putVec4(std::vector<u8> &out, Vec4 v)
+inline void
+putVec4(u8 *out, std::size_t &off, Vec4 v)
 {
-    putFloat(out, v.x);
-    putFloat(out, v.y);
-    putFloat(out, v.z);
-    putFloat(out, v.w);
+    putFloat(out, off, v.x);
+    putFloat(out, off, v.y);
+    putFloat(out, off, v.z);
+    putFloat(out, off, v.w);
 }
 
 } // namespace
 
+std::size_t
+serializeTriangleAttributesInto(const DrawCall &draw, u32 firstVertexIndex,
+                                std::span<u8> out)
+{
+    REGPU_ASSERT(firstVertexIndex + 3 <= draw.vertices.size());
+    REGPU_ASSERT(out.size() >= maxTriangleAttributeBytes);
+    u8 *p = out.data();
+    std::size_t off = 0;
+    for (u32 v = 0; v < 3; v++) {
+        const Vertex &vert = draw.vertices[firstVertexIndex + v];
+        putVec4(p, off, Vec4(vert.position, 1.0f));
+        if (draw.layout.hasColor)
+            putVec4(p, off, vert.color);
+        if (draw.layout.hasTexcoord)
+            putVec4(p, off, Vec4(vert.texcoord.x, vert.texcoord.y, 0, 0));
+        if (draw.layout.hasNormal)
+            putVec4(p, off, Vec4(vert.normal, 0.0f));
+    }
+    return off;
+}
+
 std::vector<u8>
 serializeTriangleAttributes(const DrawCall &draw, u32 firstVertexIndex)
 {
-    REGPU_ASSERT(firstVertexIndex + 3 <= draw.vertices.size());
-    std::vector<u8> out;
-    out.reserve(draw.layout.attributeCount() * 3 * 16);
-    for (u32 v = 0; v < 3; v++) {
-        const Vertex &vert = draw.vertices[firstVertexIndex + v];
-        putVec4(out, Vec4(vert.position, 1.0f));
-        if (draw.layout.hasColor)
-            putVec4(out, vert.color);
-        if (draw.layout.hasTexcoord)
-            putVec4(out, Vec4(vert.texcoord.x, vert.texcoord.y, 0, 0));
-        if (draw.layout.hasNormal)
-            putVec4(out, Vec4(vert.normal, 0.0f));
-    }
+    std::vector<u8> out(maxTriangleAttributeBytes);
+    out.resize(serializeTriangleAttributesInto(draw, firstVertexIndex,
+                                               out));
     return out;
 }
 

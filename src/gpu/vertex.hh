@@ -7,6 +7,7 @@
 #define REGPU_GPU_VERTEX_HH
 
 #include <cstring>
+#include <span>
 #include <vector>
 
 #include "common/types.hh"
@@ -120,6 +121,20 @@ struct FrameCommands
  */
 std::vector<u8> serializeTriangleAttributes(const DrawCall &draw,
                                             u32 firstVertexIndex);
+
+/** Upper bound of serializeTriangleAttributes output: 3 vertices x
+ *  4 vec4 attributes x 16 bytes. Sizes fixed stack buffers on the
+ *  per-primitive signature hot path. */
+constexpr std::size_t maxTriangleAttributeBytes = 3 * 4 * 16;
+
+/**
+ * Allocation-free variant: serialise into @p out (at least
+ * maxTriangleAttributeBytes long, asserted) and return the number of
+ * bytes written. Byte-identical to serializeTriangleAttributes.
+ */
+std::size_t serializeTriangleAttributesInto(const DrawCall &draw,
+                                            u32 firstVertexIndex,
+                                            std::span<u8> out);
 
 } // namespace regpu
 

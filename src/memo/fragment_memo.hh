@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "gpu/pipeline.hh"
 #include "gpu/raster.hh"
@@ -33,9 +34,17 @@ namespace regpu
 class MemoLut
 {
   public:
+    /**
+     * @param entries total LUT entries; must be a positive multiple of
+     *        @p ways (otherwise `sig % numSets` below would divide by
+     *        zero / silently drop capacity)
+     * @param ways set associativity; must be >= 1
+     */
     MemoLut(u32 entries, u32 ways)
-        : numSets(entries / ways), sets(numSets)
     {
+        validateMemoLutGeometry(entries, ways, "MemoLut");
+        numSets = entries / ways;
+        sets.resize(numSets);
         for (auto &s : sets)
             s.ways.resize(ways);
     }
@@ -115,7 +124,7 @@ class MemoLut
         std::vector<Way> ways;
     };
 
-    u64 numSets;
+    u64 numSets = 0;
     std::vector<Set> sets;
     u64 stamp = 0;
     u64 hits_ = 0;

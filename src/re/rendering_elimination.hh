@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "gpu/pipeline.hh"
 #include "re/signature_buffer.hh"
@@ -53,6 +54,13 @@ class RenderingElimination : public PipelineHooks
     void
     frameBegin(u64 frameIndex, bool reSafe) override
     {
+        // Slot-rotation/validity protocol (see signature_buffer.hh):
+        // rotate() clears the oldest slot for this frame's accumulation;
+        // setAllValid() then marks the whole frame valid (RE enabled,
+        // empty tiles compare equal by their defined 0 signature) or
+        // invalid (RE disabled: this frame's tiles render under
+        // potentially new global state, so later frames must never
+        // match against it).
         buffer.rotate();
         unit.frameBegin();
         frame = frameIndex;
@@ -61,13 +69,8 @@ class RenderingElimination : public PipelineHooks
             && frameIndex % config.refreshPeriodFrames
                == config.refreshPeriodFrames - 1)
             enabled = false;
-        if (!enabled) {
+        if (!enabled)
             stats.inc("re.framesDisabled");
-            // This frame's signatures will not be trustworthy for
-            // future comparisons either: its tiles get rendered with
-            // potentially new global state.
-            buffer.invalidateCurrent();
-        }
         buffer.setAllValid(enabled);
     }
 
@@ -76,18 +79,22 @@ class RenderingElimination : public PipelineHooks
     {
         if (!enabled)
             return;
-        std::vector<u8> bytes = draw.state.uniforms.serialize();
         // Shader kind, texture binding and blend state are part of the
         // tile's rendering inputs even though the paper keeps shader
         // *code* and texture *contents* out of the signature: binding
         // a different texture/shader must change the signature.
-        bytes.push_back(static_cast<u8>(draw.state.shader));
-        bytes.push_back(static_cast<u8>(draw.state.blendMode));
-        bytes.push_back(static_cast<u8>(draw.state.textureId + 1));
-        bytes.push_back(static_cast<u8>((draw.state.textureId + 1) >> 8));
-        bytes.push_back(draw.state.depthTest ? 1 : 0);
-        bytes.push_back(draw.state.depthWrite ? 1 : 0);
-        unit.onConstants(bytes);
+        constexpr std::size_t stateBytes = 6;
+        u8 bytes[UniformSet::maxSerializedBytes + stateBytes];
+        std::size_t len = draw.state.uniforms.serializeInto(
+            {bytes, UniformSet::maxSerializedBytes});
+        bytes[len++] = static_cast<u8>(draw.state.shader);
+        bytes[len++] = static_cast<u8>(draw.state.blendMode);
+        bytes[len++] = static_cast<u8>(draw.state.textureId + 1);
+        bytes[len++] = static_cast<u8>((draw.state.textureId + 1) >> 8);
+        bytes[len++] = draw.state.depthTest ? 1 : 0;
+        bytes[len++] = draw.state.depthWrite ? 1 : 0;
+        REGPU_ASSERT(len <= sizeof(bytes));
+        unit.onConstants({bytes, len});
         stats.inc("re.constantBlocksSigned");
     }
 
@@ -97,17 +104,19 @@ class RenderingElimination : public PipelineHooks
     {
         if (!enabled)
             return;
-        std::vector<u8> attrs =
-            serializeTriangleAttributes(draw, prim.firstVertex);
+        u8 attrs[maxTriangleAttributeBytes];
+        const std::size_t attrLen =
+            serializeTriangleAttributesInto(draw, prim.firstVertex,
+                                            attrs);
         // Inter-arrival of primitives at the PLB: the slowest of the
         // PLB's own sorting work and the upstream vertex-shading rate
         // (3 vertices per triangle through the vertex processors).
-        Cycles plbCycles = tiles.size() * 2
-            + (attrs.size() + 16) / 16;
+        Cycles plbCycles = tiles.size() * 2 + (attrLen + 16) / 16;
         Cycles shadeCycles = 3ull
             * vertexShaderInstructions(draw.state.shader)
             / config.numVertexProcessors;
-        unit.onPrimitive(attrs, tiles, std::max(plbCycles, shadeCycles));
+        unit.onPrimitive({attrs, attrLen}, tiles,
+                         std::max(plbCycles, shadeCycles));
         stats.inc("re.primitiveBlocksSigned");
     }
 

@@ -4,9 +4,32 @@
  * per tile for the frames spanned by the swap chain (two with double
  * buffering, paper §IV-C).
  *
- * Slot rotation: the "current" slot accumulates signatures while the
- * Geometry Pipeline bins the frame; the comparison slot is the one the
- * Back Buffer's contents were rendered from.
+ * Slot-rotation / validity protocol
+ * ---------------------------------
+ * The buffer holds `frameSpan` slots in a ring. Exactly one, the
+ * "current" slot, accumulates signatures while the Geometry Pipeline
+ * bins the frame; the "comparison" slot - the next one in ring order,
+ * i.e. the slot that will be recycled last, `frameSpan - 1` rotations
+ * ago - holds the frame the Back Buffer's contents were rendered from.
+ *
+ * Per frame, a controller must:
+ *  1. rotate()        - recycle the oldest slot as the new current one
+ *                       (its signatures and validity are cleared);
+ *  2. setAllValid(v)  - publish the frame's validity wholesale: true
+ *                       when the technique is active (tiles with no
+ *                       geometry keep the defined signature 0 and must
+ *                       still compare equal), false when the frame is
+ *                       untrustworthy (RE disabled for the frame).
+ *                       Calling setAllValid(false) subsumes
+ *                       invalidateCurrent(): there is no need for both.
+ *  3. write()/read()  - accumulate per-tile running signatures;
+ *  4. compare()/readComparison() - consult the comparison slot. Both
+ *                       fail (return false) when either side is
+ *                       invalid, so frames after a disabled or
+ *                       invalidated frame can never match against it.
+ *
+ * invalidateAll()/invalidateCurrent() remain for mid-frame events
+ * (e.g. a technique deciding its accumulated state is unusable).
  */
 
 #ifndef REGPU_RE_SIGNATURE_BUFFER_HH
@@ -48,7 +71,6 @@ class SignatureBuffer
         auto &slot = slots[current];
         std::fill(slot.sig.begin(), slot.sig.end(), 0u);
         std::fill(slot.valid.begin(), slot.valid.end(), u8{0});
-        reads_ = writes_; // bookkeeping only
         return current;
     }
 
@@ -99,6 +121,27 @@ class SignatureBuffer
             return false;
         }
         matched = cur.sig[tile] == old.sig[tile];
+        return true;
+    }
+
+    /**
+     * Read the comparison slot's signature for @p tile without
+     * touching the current slot (one SRAM read). Lets a consumer that
+     * computes its own candidate signature - Transaction Elimination
+     * hashing a tile's output colors - compare and then write() the
+     * new signature exactly once.
+     *
+     * @param sig out: the comparison slot's signature (valid entries)
+     * @return true when the comparison slot's entry is valid
+     */
+    bool
+    readComparison(TileId tile, u32 &sig)
+    {
+        reads_++;
+        const Slot &old = slots[(current + 1) % span];
+        if (!old.valid[tile])
+            return false;
+        sig = old.sig[tile];
         return true;
     }
 

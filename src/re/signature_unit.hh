@@ -68,7 +68,7 @@ class SignatureUnit
         activity_ = SignatureUnitActivity{};
         bitmap.assign(config.numTiles(), 0);
         constantsCrc = 0;
-        constantsBlocks = 0;
+        constantsBytes = 0;
         suBusy = 0;
         geomBusy = 0;
     }
@@ -82,7 +82,7 @@ class SignatureUnit
     {
         BlockSignature sig = signBlock(constantBytes);
         constantsCrc = sig.crc;
-        constantsBlocks = sig.shiftAmount;
+        constantsBytes = sig.lengthBytes;
         std::fill(bitmap.begin(), bitmap.end(), u8{0});
         activity_.bitmapAccesses += 1; // flash clear
     }
@@ -111,7 +111,10 @@ class SignatureUnit
     {
         // Compute CRC unit signs the attribute block (Algorithm 2).
         BlockSignature prim = signBlock(attributeBytes);
-        Cycles work = prim.shiftAmount; // compute pipeline slot
+        const u32 primSub = prim.subBlocks();
+        const u32 constSub =
+            static_cast<u32>((constantsBytes + 7) / 8);
+        Cycles work = primSub; // compute pipeline slot
 
         activity_.otPushes += tiles.size();
 
@@ -125,18 +128,18 @@ class SignatureUnit
                 bitmap[t] = 1;
                 activity_.bitmapAccesses++;
                 running = hashCombine(kind, running, constantsCrc,
-                                      constantsBlocks);
-                work += constantsBlocks; // Accumulate unit iterations
-                activity_.accumulateCycles += constantsBlocks;
-                activity_.lutAccesses += 4ull * constantsBlocks;
+                                      constantsBytes);
+                work += constSub; // Accumulate unit iterations
+                activity_.accumulateCycles += constSub;
+                activity_.lutAccesses += 4ull * constSub;
             }
 
             // Fold the primitive CRC (Accumulate + XOR, Algorithm 1).
             running = hashCombine(kind, running, prim.crc,
-                                  prim.shiftAmount);
-            work += prim.shiftAmount;
-            activity_.accumulateCycles += prim.shiftAmount;
-            activity_.lutAccesses += 4ull * prim.shiftAmount;
+                                  prim.lengthBytes);
+            work += primSub;
+            activity_.accumulateCycles += primSub;
+            activity_.lutAccesses += 4ull * primSub;
 
             buffer.write(t, running);
             activity_.sigBufferAccesses++;
@@ -159,7 +162,7 @@ class SignatureUnit
     HashKind hashKind() const { return kind; }
 
   private:
-    /** Sign a block through the Compute CRC unit model. */
+    /** Sign a block through the Compute CRC unit model (byte-exact). */
     BlockSignature
     signBlock(std::span<const u8> bytes)
     {
@@ -167,7 +170,7 @@ class SignatureUnit
         activity_.computeCycles += blocks;
         activity_.lutAccesses += 12ull * blocks;
         u32 crc = hashBlock(kind, bytes);
-        return {crc, blocks};
+        return {crc, bytes.size()};
     }
 
     /** Lag the OT queue can absorb: its entries times the typical
@@ -183,7 +186,7 @@ class SignatureUnit
     HashKind kind;
     std::vector<u8> bitmap;
     u32 constantsCrc = 0;
-    u32 constantsBlocks = 0;
+    u64 constantsBytes = 0;
     Cycles suBusy = 0;
     Cycles geomBusy = 0;
     SignatureUnitActivity activity_;

@@ -9,6 +9,7 @@ Simulator::Simulator(const Scene &scene_, const GpuConfig &config_,
                      const SimOptions &options_)
     : scene(scene_), config(config_), options(options_), cycles(config)
 {
+    config.validate();
     mem = std::make_unique<MemSystem>(config);
     pipe = std::make_unique<GraphicsPipeline>(config, statsReg, mem.get(),
                                               scene.textures());

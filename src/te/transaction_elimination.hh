@@ -49,27 +49,26 @@ class TransactionElimination : public PipelineHooks
     bool
     shouldFlushTile(TileId tile, const std::vector<Color> &colors) override
     {
-        // Hash the tile's colors (CRC32 over the packed RGBA bytes).
-        std::vector<u8> bytes;
-        bytes.reserve(colors.size() * 4);
-        for (Color c : colors) {
-            u32 p = c.packed();
-            bytes.push_back(static_cast<u8>(p));
-            bytes.push_back(static_cast<u8>(p >> 8));
-            bytes.push_back(static_cast<u8>(p >> 16));
-            bytes.push_back(static_cast<u8>(p >> 24));
-        }
-        u32 sig = crc32Tabular(bytes);
+        // Hash the tile's colors: CRC32 streamed straight over the
+        // Color Buffer's storage (no per-tile heap message, no staging
+        // copy). Color is four u8s {r,g,b,a}, identical to the packed
+        // little-endian RGBA byte order the signature is defined over.
+        static_assert(sizeof(Color) == 4);
+        Crc32Stream stream;
+        stream.update({reinterpret_cast<const u8 *>(colors.data()),
+                       colors.size() * 4});
+        const u32 sig = stream.value();
         // Compute CRC unit energy: 12 LUT reads per 64-bit sub-block.
-        lutAccessesThisFrame += 12ull * ((bytes.size() + 7) / 8);
+        lutAccessesThisFrame += 12ull * ((stream.lengthBytes() + 7) / 8);
 
-        // Compare against the recorded signature before overwriting.
-        bool matched = false;
-        bool prevSig = peekComparison(tile, sig, matched);
+        // Compare against the recorded signature, then store exactly
+        // one signature write for this tile.
+        u32 prevSig = 0;
+        const bool comparable = buffer.readComparison(tile, prevSig);
         buffer.write(tile, sig);
 
         stats.inc("te.signatureCompares");
-        if (prevSig && matched) {
+        if (comparable && prevSig == sig) {
             stats.inc("te.flushesEliminated");
             return false;
         }
@@ -80,26 +79,21 @@ class TransactionElimination : public PipelineHooks
     frameEnd() override
     {
         stats.inc("te.lutAccesses", lutAccessesThisFrame);
-        stats.inc("te.sigBufferAccesses", buffer.accesses());
+        // Charge only this frame's Signature Buffer activity;
+        // buffer.accesses() is a cumulative lifetime counter.
+        const u64 total = buffer.accesses();
+        stats.inc("te.sigBufferAccesses", total - accessesCharged);
+        accessesCharged = total;
     }
 
     SignatureBuffer &signatureBuffer() { return buffer; }
 
   private:
-    /** Read the comparison slot's signature for @p tile. */
-    bool
-    peekComparison(TileId tile, u32 currentSig, bool &matched)
-    {
-        // SignatureBuffer::compare uses the stored current slot, so
-        // stage the current signature first, then compare.
-        buffer.write(tile, currentSig);
-        return buffer.compare(tile, matched);
-    }
-
     const GpuConfig &config;
     StatRegistry &stats;
     SignatureBuffer buffer;
     u64 lutAccessesThisFrame = 0;
+    u64 accessesCharged = 0;
 };
 
 } // namespace regpu

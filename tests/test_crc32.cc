@@ -1,12 +1,16 @@
 /**
  * @file
  * CRC-32 polynomial-arithmetic tests: the table-based units must agree
- * with the bitwise reference, and the incremental combine (Algorithm 1)
- * must reproduce the whole-message CRC for any segmentation.
+ * with the bitwise reference **for every byte length** (the tail is
+ * signed with per-byte position factors, never zero-padded), streaming
+ * must equal one-shot under any segmentation, and the incremental
+ * combine (Algorithm 1) must reproduce the whole-message CRC for any
+ * byte-granular split.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <vector>
 
 #include "common/rng.hh"
@@ -128,6 +132,48 @@ TEST(CrcTables, ShiftIsMultiplicationByX64)
     }
 }
 
+TEST(CrcTables, AppendBlockIsSliceBy8)
+{
+    // The slice-by-8 identity the streaming fast path relies on:
+    // appendBlock64(crc, block) == shift64(crc) ^ signBlock64(block).
+    Rng rng(14);
+    const CrcTables &t = CrcTables::instance();
+    for (int i = 0; i < 200; i++) {
+        u32 crc = static_cast<u32>(rng.next());
+        u64 block = rng.next();
+        EXPECT_EQ(t.appendBlock64(crc, block),
+                  t.shift64(crc) ^ t.signBlock64(block));
+    }
+}
+
+TEST(CrcTables, AppendByteIsMultiplicationByX8PlusByte)
+{
+    // appendByte(crc, b) == crc * x^8 ^ b * x^32 mod G.
+    Rng rng(15);
+    const CrcTables &t = CrcTables::instance();
+    u32 x8 = gf2PowXMod(8);
+    u32 x32 = gf2PowXMod(32);
+    for (int i = 0; i < 200; i++) {
+        u32 crc = static_cast<u32>(rng.next());
+        u8 byte = static_cast<u8>(rng.nextBounded(256));
+        EXPECT_EQ(t.appendByte(crc, byte),
+                  gf2MulMod(crc, x8) ^ gf2MulMod(byte, x32));
+    }
+}
+
+TEST(CrcTables, ShiftBytesIsMultiplicationByX8n)
+{
+    Rng rng(16);
+    const CrcTables &t = CrcTables::instance();
+    for (int i = 0; i < 100; i++) {
+        u32 crc = static_cast<u32>(rng.next());
+        u64 bytes = rng.nextBounded(40);
+        EXPECT_EQ(t.shiftBytes(crc, bytes),
+                  gf2MulMod(crc, gf2PowXMod(8 * bytes)))
+            << "bytes " << bytes;
+    }
+}
+
 TEST(CrcTables, StorageBudgetMatchesPaper)
 {
     // Twelve 1 KB LUTs (8 sign + 4 shift).
@@ -144,62 +190,152 @@ TEST(Crc32Tabular, MatchesReferenceOnAlignedMessages)
     }
 }
 
-TEST(Crc32Tabular, PadsUnalignedTails)
+TEST(Crc32Tabular, UnalignedTailsAreLengthExact)
 {
-    // Tabular zero-pads to 64-bit boundaries; the reference over the
-    // explicitly padded message must agree.
+    // The tail-padding defect this pins: the tabular CRC of a message
+    // whose length is not a multiple of 8 must equal the reference CRC
+    // of exactly those bytes - NOT of the message zero-padded to a
+    // 64-bit boundary.
     Rng rng(9);
-    for (std::size_t len : {1u, 7u, 13u, 100u}) {
+    for (std::size_t len : {1u, 3u, 7u, 11u, 13u, 20u, 24u, 28u, 100u}) {
         auto msg = randomBytes(rng, len);
+        EXPECT_EQ(crc32Tabular(msg), crc32Reference(msg))
+            << "length " << len;
         auto padded = msg;
         padded.resize((len + 7) / 8 * 8, 0);
-        EXPECT_EQ(crc32Tabular(msg), crc32Reference(padded))
-            << "length " << len;
+        if (padded.size() != msg.size()) {
+            EXPECT_NE(crc32Tabular(msg), crc32Tabular(padded))
+                << "length " << len
+                << ": trailing zero bytes must change the signature";
+        }
     }
 }
 
-TEST(Crc32Combine, ConcatenationIdentity)
+TEST(Crc32Tabular, TrailingZeroBytesNeverAlias)
 {
-    // Property: for any split point (64-bit aligned), combining the
-    // halves' CRCs equals the whole message's CRC - the exact property
-    // Algorithm 1 relies on.
+    // Fragment signatures feed 20/24/28-byte buffers; under the padded
+    // scheme any of them aliased its zero-extended sibling. Exhaust
+    // 1..7 appended zero bytes over a few base lengths.
+    Rng rng(17);
+    for (std::size_t len : {4u, 20u, 24u, 28u}) {
+        auto msg = randomBytes(rng, len);
+        u32 base = crc32Tabular(msg);
+        auto extended = msg;
+        for (int pad = 1; pad <= 7; pad++) {
+            extended.push_back(0);
+            EXPECT_NE(crc32Tabular(extended), base)
+                << "length " << len << " + " << pad << " zero bytes";
+        }
+    }
+}
+
+TEST(Crc32Stream, EmptyStreamIsZero)
+{
+    Crc32Stream s;
+    EXPECT_EQ(s.value(), 0u);
+    EXPECT_EQ(s.lengthBytes(), 0u);
+}
+
+TEST(Crc32Stream, ByteAtATimeEqualsOneShot)
+{
+    Rng rng(18);
+    auto msg = randomBytes(rng, 37);
+    Crc32Stream s;
+    for (u8 byte : msg)
+        s.update({&byte, 1});
+    EXPECT_EQ(s.value(), crc32Reference(msg));
+    EXPECT_EQ(s.lengthBytes(), msg.size());
+}
+
+TEST(Crc32Stream, ResetRestartsTheMessage)
+{
+    Rng rng(19);
+    auto msg = randomBytes(rng, 24);
+    Crc32Stream s;
+    s.update(randomBytes(rng, 13));
+    s.reset();
+    s.update(msg);
+    EXPECT_EQ(s.value(), crc32Reference(msg));
+}
+
+TEST(Crc32Stream, PutHelpersMatchSerializedBytes)
+{
+    // putU32/putF32 must hash exactly the little-endian byte layout
+    // the pipeline serializers emit.
+    Crc32Stream s;
+    s.putU32(0x04030201u);
+    s.putF32(1.5f);
+    u32 bits;
+    float f = 1.5f;
+    std::memcpy(&bits, &f, 4);
+    std::vector<u8> expect = {1, 2, 3, 4,
+                              static_cast<u8>(bits),
+                              static_cast<u8>(bits >> 8),
+                              static_cast<u8>(bits >> 16),
+                              static_cast<u8>(bits >> 24)};
+    EXPECT_EQ(s.value(), crc32Reference(expect));
+}
+
+TEST(Crc32Combine, ConcatenationIdentityAligned)
+{
+    // For any 64-bit-aligned split point, combining the halves' CRCs
+    // equals the whole message's CRC (the Algorithm 1 property).
     Rng rng(10);
     for (int trial = 0; trial < 40; trial++) {
-        std::size_t blocksA = 1 + rng.nextBounded(8);
-        std::size_t blocksB = 1 + rng.nextBounded(8);
-        auto a = randomBytes(rng, blocksA * 8);
-        auto b = randomBytes(rng, blocksB * 8);
+        std::size_t bytesA = (1 + rng.nextBounded(8)) * 8;
+        std::size_t bytesB = (1 + rng.nextBounded(8)) * 8;
+        auto a = randomBytes(rng, bytesA);
+        auto b = randomBytes(rng, bytesB);
         std::vector<u8> whole = a;
         whole.insert(whole.end(), b.begin(), b.end());
 
-        u32 combined = crc32Combine(crc32Tabular(a), crc32Tabular(b),
-                                    static_cast<u32>(blocksB));
-        EXPECT_EQ(combined, crc32Tabular(whole));
+        u32 combined =
+            crc32Combine(crc32Tabular(a), crc32Tabular(b), bytesB);
+        EXPECT_EQ(combined, crc32Reference(whole));
+    }
+}
+
+TEST(Crc32Combine, ConcatenationIdentityArbitraryByteLengths)
+{
+    // Byte-exact combine: B's length need not be 64-bit aligned.
+    Rng rng(11);
+    for (int trial = 0; trial < 60; trial++) {
+        std::size_t bytesA = rng.nextBounded(40);
+        std::size_t bytesB = rng.nextBounded(40);
+        auto a = randomBytes(rng, bytesA);
+        auto b = randomBytes(rng, bytesB);
+        std::vector<u8> whole = a;
+        whole.insert(whole.end(), b.begin(), b.end());
+
+        u32 combined =
+            crc32Combine(crc32Tabular(a), crc32Tabular(b), bytesB);
+        EXPECT_EQ(combined, crc32Reference(whole))
+            << bytesA << " || " << bytesB;
     }
 }
 
 TEST(Crc32Combine, MultiWayConcatenation)
 {
-    // Fold N sub-messages incrementally, as the Signature Unit does.
-    Rng rng(11);
+    // Fold N sub-messages of arbitrary byte length incrementally, as
+    // the Signature Unit does.
+    Rng rng(12);
     for (int trial = 0; trial < 20; trial++) {
         u32 running = 0;
         std::vector<u8> whole;
         int parts = 2 + static_cast<int>(rng.nextBounded(6));
         for (int pIdx = 0; pIdx < parts; pIdx++) {
-            std::size_t blocks = 1 + rng.nextBounded(5);
-            auto part = randomBytes(rng, blocks * 8);
-            running = crc32Combine(running, crc32Tabular(part),
-                                   static_cast<u32>(blocks));
+            std::size_t bytes = 1 + rng.nextBounded(40);
+            auto part = randomBytes(rng, bytes);
+            running = crc32Combine(running, crc32Tabular(part), bytes);
             whole.insert(whole.end(), part.begin(), part.end());
         }
-        EXPECT_EQ(running, crc32Tabular(whole));
+        EXPECT_EQ(running, crc32Reference(whole));
     }
 }
 
 TEST(Crc32, SensitiveToSingleBitFlips)
 {
-    Rng rng(12);
+    Rng rng(13);
     auto msg = randomBytes(rng, 64);
     u32 orig = crc32Tabular(msg);
     for (int i = 0; i < 64; i++) {
@@ -212,7 +348,7 @@ TEST(Crc32, SensitiveToSingleBitFlips)
 TEST(Crc32, SensitiveToBlockOrder)
 {
     // Unlike XOR folding, CRC distinguishes permuted sub-messages.
-    Rng rng(13);
+    Rng rng(14);
     auto a = randomBytes(rng, 16);
     auto b = randomBytes(rng, 16);
     std::vector<u8> ab = a, ba = b;
@@ -221,24 +357,57 @@ TEST(Crc32, SensitiveToBlockOrder)
     EXPECT_NE(crc32Tabular(ab), crc32Tabular(ba));
 }
 
-/** Parameterised sweep: tabular == reference across many lengths. */
+/**
+ * Parameterised length sweep (satellite: every length 0..64 plus a few
+ * large odd lengths): tabular == reference, and streaming under a
+ * random segmentation == one-shot. These fail under the old
+ * zero-padding implementation for every non-multiple-of-8 length.
+ */
 class CrcLengthSweep : public ::testing::TestWithParam<std::size_t>
 {
 };
 
-TEST_P(CrcLengthSweep, TabularMatchesPaddedReference)
+TEST_P(CrcLengthSweep, TabularMatchesReferenceExactly)
 {
     Rng rng(100 + GetParam());
-    std::vector<u8> msg(GetParam());
-    for (auto &byte : msg)
-        byte = static_cast<u8>(rng.nextBounded(256));
-    auto padded = msg;
-    padded.resize((msg.size() + 7) / 8 * 8, 0);
-    EXPECT_EQ(crc32Tabular(msg), crc32Reference(padded));
+    auto msg = randomBytes(rng, GetParam());
+    EXPECT_EQ(crc32Tabular(msg), crc32Reference(msg));
 }
 
-INSTANTIATE_TEST_SUITE_P(Lengths, CrcLengthSweep,
-                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7, 8, 9,
-                                           15, 16, 17, 31, 32, 33, 48,
-                                           63, 64, 65, 127, 128, 144,
-                                           255, 256, 1000));
+TEST_P(CrcLengthSweep, StreamingEqualsOneShotUnderAnySegmentation)
+{
+    Rng rng(200 + GetParam());
+    auto msg = randomBytes(rng, GetParam());
+    const u32 expected = crc32Reference(msg);
+    for (int trial = 0; trial < 4; trial++) {
+        Crc32Stream s;
+        std::size_t pos = 0;
+        while (pos < msg.size()) {
+            std::size_t take =
+                1 + rng.nextBounded(msg.size() - pos);
+            s.update({msg.data() + pos, take});
+            pos += take;
+        }
+        EXPECT_EQ(s.value(), expected) << "trial " << trial;
+        EXPECT_EQ(s.lengthBytes(), msg.size());
+    }
+}
+
+TEST_P(CrcLengthSweep, CombineMatchesConcatenatedReference)
+{
+    // crc32Combine(F(A), F(B), |B|) == F(A || B) with B of the swept
+    // length appended to a fixed-length unaligned prefix.
+    Rng rng(300 + GetParam());
+    auto a = randomBytes(rng, 13);
+    auto b = randomBytes(rng, GetParam());
+    std::vector<u8> whole = a;
+    whole.insert(whole.end(), b.begin(), b.end());
+    EXPECT_EQ(crc32Combine(crc32Tabular(a), crc32Tabular(b), b.size()),
+              crc32Reference(whole));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths0To64, CrcLengthSweep,
+                         ::testing::Range<std::size_t>(0, 65));
+
+INSTANTIATE_TEST_SUITE_P(LargeOddLengths, CrcLengthSweep,
+                         ::testing::Values(127, 145, 255, 1001, 4097));

@@ -1,7 +1,9 @@
 /**
  * @file
  * Tests of the hardware-unit models: Compute CRC unit (Algorithm 2),
- * Accumulate CRC unit (Algorithm 3) and their cycle accounting.
+ * Accumulate CRC unit (Algorithm 3) and their cycle accounting. Both
+ * are byte-exact: a partial final sub-block is signed with per-byte
+ * position factors, never zero-padded.
  */
 
 #include <gtest/gtest.h>
@@ -27,15 +29,16 @@ randomBytes(Rng &rng, std::size_t n)
 
 } // namespace
 
-TEST(ComputeCrcUnit, MatchesTabularCrc)
+TEST(ComputeCrcUnit, MatchesReferenceCrc)
 {
     Rng rng(20);
     ComputeCrcUnit unit;
-    for (std::size_t blocks : {1u, 2u, 3u, 9u, 18u}) {
-        auto msg = randomBytes(rng, blocks * 8);
+    for (std::size_t bytes : {8u, 16u, 24u, 72u, 144u, 7u, 20u, 143u}) {
+        auto msg = randomBytes(rng, bytes);
         BlockSignature sig = unit.sign(msg);
-        EXPECT_EQ(sig.crc, crc32Tabular(msg));
-        EXPECT_EQ(sig.shiftAmount, blocks);
+        EXPECT_EQ(sig.crc, crc32Reference(msg)) << "bytes " << bytes;
+        EXPECT_EQ(sig.lengthBytes, bytes);
+        EXPECT_EQ(sig.subBlocks(), (bytes + 7) / 8);
     }
 }
 
@@ -63,8 +66,12 @@ TEST(ComputeCrcUnit, ConstantsTakeEightCycles)
     EXPECT_EQ(unit.busyCycles(), 8u);
 }
 
-TEST(ComputeCrcUnit, PadsTailWithZeros)
+TEST(ComputeCrcUnit, TailIsLengthExact)
 {
+    // Regression for the tail-padding defect: a 12-byte message and
+    // its 16-byte zero-padded sibling must produce different CRCs
+    // (under the old datapath they collided by construction); the
+    // 12-byte CRC must equal the bitwise reference of the 12 bytes.
     Rng rng(23);
     ComputeCrcUnit unit;
     auto msg = randomBytes(rng, 12); // 1.5 sub-blocks
@@ -72,8 +79,21 @@ TEST(ComputeCrcUnit, PadsTailWithZeros)
     padded.resize(16, 0);
     BlockSignature a = unit.sign(msg);
     BlockSignature b = unit.sign(padded);
-    EXPECT_EQ(a.crc, b.crc);
-    EXPECT_EQ(a.shiftAmount, 2u);
+    EXPECT_EQ(a.crc, crc32Reference(msg));
+    EXPECT_EQ(b.crc, crc32Reference(padded));
+    EXPECT_NE(a.crc, b.crc);
+    EXPECT_EQ(a.lengthBytes, 12u);
+    EXPECT_EQ(a.subBlocks(), 2u); // tail occupies a datapath cycle
+    EXPECT_EQ(b.subBlocks(), 2u);
+}
+
+TEST(ComputeCrcUnit, TailStillCostsACycle)
+{
+    Rng rng(27);
+    ComputeCrcUnit unit;
+    unit.resetStats();
+    unit.sign(randomBytes(rng, 12)); // 1 full sub-block + 4-byte tail
+    EXPECT_EQ(unit.busyCycles(), 2u);
 }
 
 TEST(ComputeCrcUnit, LutAccessesPerCycle)
@@ -93,21 +113,39 @@ TEST(AccumulateCrcUnit, EquivalentToRepeatedShift)
     const CrcTables &t = CrcTables::instance();
     for (int trial = 0; trial < 20; trial++) {
         u32 crc = static_cast<u32>(rng.next());
-        u32 amount = 1 + static_cast<u32>(rng.nextBounded(20));
+        u32 blocks = 1 + static_cast<u32>(rng.nextBounded(20));
         u32 expected = crc;
-        for (u32 k = 0; k < amount; k++)
+        for (u32 k = 0; k < blocks; k++)
             expected = t.shift64(expected);
-        EXPECT_EQ(unit.accumulate(crc, amount), expected);
+        EXPECT_EQ(unit.accumulate(crc, 8ull * blocks), expected);
     }
 }
 
-TEST(AccumulateCrcUnit, OneCyclePerShift)
+TEST(AccumulateCrcUnit, ByteGranularTailFactor)
+{
+    // accumulate(crc, n) must be crc * x^(8n) for any byte count.
+    Rng rng(28);
+    AccumulateCrcUnit unit;
+    for (int trial = 0; trial < 30; trial++) {
+        u32 crc = static_cast<u32>(rng.next());
+        u64 bytes = rng.nextBounded(40);
+        EXPECT_EQ(unit.accumulate(crc, bytes),
+                  gf2MulMod(crc, gf2PowXMod(8 * bytes)))
+            << "bytes " << bytes;
+    }
+}
+
+TEST(AccumulateCrcUnit, OneCyclePerSubblock)
 {
     AccumulateCrcUnit unit;
     unit.resetStats();
-    unit.accumulate(0xdeadbeef, 18);
+    unit.accumulate(0xdeadbeef, 144); // 18 sub-blocks, no tail
     EXPECT_EQ(unit.busyCycles(), 18u);
     EXPECT_EQ(unit.lutAccesses(), 18u * 4);
+
+    unit.resetStats();
+    unit.accumulate(0xdeadbeef, 20); // 2 sub-blocks + 4-byte tail
+    EXPECT_EQ(unit.busyCycles(), 3u);
 }
 
 TEST(AccumulateCrcUnit, ZeroShiftIsIdentity)
@@ -121,19 +159,21 @@ TEST(Units, ComputePlusAccumulateEqualsWholeMessage)
 {
     // The full Signature Unit dataflow for one tile: sign block A,
     // then fold block B via accumulate+xor; must equal CRC(A||B).
+    // Blocks of arbitrary byte length, tails included.
     Rng rng(26);
     ComputeCrcUnit compute;
     AccumulateCrcUnit accumulate;
     for (int trial = 0; trial < 30; trial++) {
-        auto a = randomBytes(rng, (1 + rng.nextBounded(6)) * 8);
-        auto b = randomBytes(rng, (1 + rng.nextBounded(6)) * 8);
+        auto a = randomBytes(rng, 1 + rng.nextBounded(48));
+        auto b = randomBytes(rng, 1 + rng.nextBounded(48));
         BlockSignature sa = compute.sign(a);
         BlockSignature sb = compute.sign(b);
         u32 tileCrc = sa.crc;
-        tileCrc = accumulate.accumulate(tileCrc, sb.shiftAmount) ^ sb.crc;
+        tileCrc = accumulate.accumulate(tileCrc, sb.lengthBytes)
+            ^ sb.crc;
 
         std::vector<u8> whole = a;
         whole.insert(whole.end(), b.begin(), b.end());
-        EXPECT_EQ(tileCrc, crc32Tabular(whole));
+        EXPECT_EQ(tileCrc, crc32Reference(whole));
     }
 }

@@ -72,11 +72,11 @@ TEST(Hashes, XorFoldSelfCancels)
     // hash like zero primitives.
     std::vector<u8> a = {9, 9, 2, 7};
     u32 ha = hashBlock(HashKind::XorFold, a);
-    u32 combined = hashCombine(HashKind::XorFold, ha, ha, 1);
+    u32 combined = hashCombine(HashKind::XorFold, ha, ha, a.size());
     EXPECT_EQ(combined, 0u);
     // CRC32 does not cancel: combine is length-aware.
     u32 ca = hashBlock(HashKind::Crc32, a);
-    EXPECT_NE(hashCombine(HashKind::Crc32, ca, ca, 1), 0u);
+    EXPECT_NE(hashCombine(HashKind::Crc32, ca, ca, a.size()), 0u);
 }
 
 TEST(Hashes, CombineCrcMatchesConcatenation)
@@ -88,8 +88,27 @@ TEST(Hashes, CombineCrcMatchesConcatenation)
     whole.insert(whole.end(), b.begin(), b.end());
     u32 combined = hashCombine(HashKind::Crc32,
                                hashBlock(HashKind::Crc32, a),
-                               hashBlock(HashKind::Crc32, b), 3);
+                               hashBlock(HashKind::Crc32, b), b.size());
     EXPECT_EQ(combined, hashBlock(HashKind::Crc32, whole));
+}
+
+TEST(Hashes, CombineCrcMatchesConcatenationUnalignedBlocks)
+{
+    // The Signature Unit's real block sizes are not 64-bit aligned
+    // (constants 70 B, lit attributes 196 B...); combine must stay
+    // exact for any byte length.
+    Rng rng(33);
+    for (std::size_t lenB : {1u, 3u, 7u, 11u, 70u, 196u}) {
+        auto a = randomBytes(rng, 13);
+        auto b = randomBytes(rng, lenB);
+        std::vector<u8> whole = a;
+        whole.insert(whole.end(), b.begin(), b.end());
+        u32 combined =
+            hashCombine(HashKind::Crc32, hashBlock(HashKind::Crc32, a),
+                        hashBlock(HashKind::Crc32, b), lenB);
+        EXPECT_EQ(combined, hashBlock(HashKind::Crc32, whole))
+            << "lenB " << lenB;
+    }
 }
 
 TEST(Hashes, Fnv1aOrderSensitive)
@@ -116,11 +135,81 @@ TEST(Hashes, CrcCombineIsOrderSensitiveAcrossBlocks)
     u32 a = hashBlock(HashKind::Crc32, std::vector<u8>{1, 0, 0, 0});
     u32 b = hashBlock(HashKind::Crc32, std::vector<u8>{2, 0, 0, 0});
     u32 viaAb = hashCombine(HashKind::Crc32,
-                            hashCombine(HashKind::Crc32, 0, a, 1), b, 1);
+                            hashCombine(HashKind::Crc32, 0, a, 4), b, 4);
     u32 viaBa = hashCombine(HashKind::Crc32,
-                            hashCombine(HashKind::Crc32, 0, b, 1), a, 1);
+                            hashCombine(HashKind::Crc32, 0, b, 4), a, 4);
     EXPECT_NE(viaAb, viaBa);
 }
+
+/**
+ * HashStream: for every kind, streaming a message in any segmentation
+ * must equal the one-shot hashBlock of the concatenation.
+ */
+class HashStreamKinds : public ::testing::TestWithParam<HashKind>
+{
+};
+
+TEST_P(HashStreamKinds, StreamingEqualsOneShot)
+{
+    const HashKind kind = GetParam();
+    Rng rng(50 + static_cast<u64>(kind));
+    for (std::size_t len : {0u, 1u, 3u, 4u, 7u, 8u, 20u, 37u, 144u}) {
+        auto msg = randomBytes(rng, len);
+        const u32 expected = hashBlock(kind, msg);
+
+        // Byte-at-a-time.
+        HashStream serial(kind);
+        for (u8 byte : msg)
+            serial.update({&byte, 1});
+        EXPECT_EQ(serial.finalize(), expected)
+            << hashKindName(kind) << " len " << len;
+        EXPECT_EQ(serial.lengthBytes(), len);
+
+        // Random chunking.
+        HashStream chunked(kind);
+        std::size_t pos = 0;
+        while (pos < msg.size()) {
+            std::size_t take = 1 + rng.nextBounded(msg.size() - pos);
+            chunked.update({msg.data() + pos, take});
+            pos += take;
+        }
+        EXPECT_EQ(chunked.finalize(), expected)
+            << hashKindName(kind) << " len " << len;
+    }
+}
+
+TEST_P(HashStreamKinds, ResetRestartsTheMessage)
+{
+    const HashKind kind = GetParam();
+    Rng rng(60 + static_cast<u64>(kind));
+    auto junk = randomBytes(rng, 11);
+    auto msg = randomBytes(rng, 24);
+    HashStream s(kind);
+    s.update(junk);
+    s.reset();
+    s.update(msg);
+    EXPECT_EQ(s.finalize(), hashBlock(kind, msg));
+}
+
+TEST_P(HashStreamKinds, PutU32MatchesLittleEndianBytes)
+{
+    const HashKind kind = GetParam();
+    HashStream viaPut(kind);
+    viaPut.putU32(0xDDCCBBAAu);
+    viaPut.putU32(0x44332211u);
+    std::vector<u8> bytes = {0xAA, 0xBB, 0xCC, 0xDD,
+                             0x11, 0x22, 0x33, 0x44};
+    EXPECT_EQ(viaPut.finalize(), hashBlock(kind, bytes));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, HashStreamKinds,
+    ::testing::Values(HashKind::Crc32, HashKind::XorFold,
+                      HashKind::AddFold, HashKind::Fnv1a,
+                      HashKind::Trunc4),
+    [](const ::testing::TestParamInfo<HashKind> &info) {
+        return hashKindName(info.param);
+    });
 
 /** Avalanche sweep: flipping any input bit flips ~half the output bits
  *  for CRC32 (quality), but often very few for XOR-fold. */

@@ -64,6 +64,47 @@ TEST(MemoLut, SizeBytesMatchesConfiguration)
     EXPECT_EQ(lut.sizeBytes(), 2048u * 8);
 }
 
+TEST(MemoLutDeathTest, ZeroWaysIsRejected)
+{
+    // Regression: entries/ways with ways == 0 used to make numSets 0
+    // and every `sig % numSets` undefined behaviour.
+    EXPECT_EXIT(MemoLut(16, 0), ::testing::ExitedWithCode(1),
+                "MemoLut: memo LUT ways must be >= 1");
+}
+
+TEST(MemoLutDeathTest, FewerEntriesThanWaysIsRejected)
+{
+    EXPECT_EXIT(MemoLut(2, 4), ::testing::ExitedWithCode(1),
+                "MemoLut: memo LUT entries .2. must be >= ways .4.");
+}
+
+TEST(MemoLutDeathTest, NonMultipleEntriesAreRejected)
+{
+    EXPECT_EXIT(MemoLut(10, 4), ::testing::ExitedWithCode(1),
+                "MemoLut: memo LUT entries .10. must be a multiple of"
+                " ways");
+}
+
+TEST(MemoLutDeathTest, GpuConfigValidateCatchesBadLutGeometry)
+{
+    GpuConfig bad;
+    bad.memoLutWays = 0;
+    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1),
+                "GpuConfig: memo LUT ways must be >= 1");
+    GpuConfig bad2;
+    bad2.memoLutEntries = 3;
+    bad2.memoLutWays = 4;
+    EXPECT_EXIT(bad2.validate(), ::testing::ExitedWithCode(1),
+                "GpuConfig: memo LUT entries .3. must be >= ways");
+}
+
+TEST(MemoLut, ValidConfigPassesValidation)
+{
+    GpuConfig good;
+    good.validate(); // must not exit
+    SUCCEED();
+}
+
 namespace
 {
 

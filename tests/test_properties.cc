@@ -99,24 +99,24 @@ class CrcSegmentation : public ::testing::TestWithParam<u64>
 TEST_P(CrcSegmentation, AnySegmentationSameSignature)
 {
     Rng rng(GetParam());
-    const std::size_t blocks = 2 + rng.nextBounded(20);
-    std::vector<u8> stream(blocks * 8);
+    // Arbitrary (not 64-bit-aligned) stream length: combining is
+    // byte-exact.
+    const std::size_t bytes = 16 + rng.nextBounded(160);
+    std::vector<u8> stream(bytes);
     for (auto &b : stream)
         b = static_cast<u8>(rng.nextBounded(256));
 
     // Reference: one-shot CRC.
     u32 expected = crc32Tabular(stream);
 
-    // Random segmentation into 64-bit-aligned chunks.
+    // Random segmentation into byte-granular chunks.
     u32 running = 0;
     std::size_t pos = 0;
     while (pos < stream.size()) {
-        std::size_t remaining = (stream.size() - pos) / 8;
-        std::size_t take = 1 + rng.nextBounded(remaining);
-        std::span<const u8> chunk(stream.data() + pos, take * 8);
-        running = crc32Combine(running, crc32Tabular(chunk),
-                               static_cast<u32>(take));
-        pos += take * 8;
+        std::size_t take = 1 + rng.nextBounded(stream.size() - pos);
+        std::span<const u8> chunk(stream.data() + pos, take);
+        running = crc32Combine(running, crc32Tabular(chunk), take);
+        pos += take;
     }
     EXPECT_EQ(running, expected);
 }

@@ -154,3 +154,68 @@ TEST(SignatureBuffer, AccessCountingForEnergyModel)
     sb.read(0);
     EXPECT_GT(sb.accesses(), before);
 }
+
+TEST(SignatureBuffer, RotatePreservesAccessCounter)
+{
+    // Regression: rotate() used to clobber reads_ with writes_,
+    // corrupting accesses() (a write would count double forever
+    // after, and reads since the last rotation vanished).
+    SignatureBuffer sb(8, 2);
+    sb.rotate();
+    sb.write(0, 1);   // 1 access
+    sb.read(0);       // 2
+    sb.read(1);       // 3
+    EXPECT_EQ(sb.accesses(), 3u);
+    sb.rotate();
+    EXPECT_EQ(sb.accesses(), 3u); // rotation is not an SRAM access
+    sb.write(0, 2);
+    EXPECT_EQ(sb.accesses(), 4u);
+}
+
+TEST(SignatureBuffer, ReadComparisonReturnsComparisonSlot)
+{
+    SignatureBuffer sb(8, 2);
+    sb.rotate();
+    sb.write(3, 0x1111);
+    sb.rotate();
+    sb.write(3, 0x2222);
+    u32 sig = 0;
+    EXPECT_TRUE(sb.readComparison(3, sig));
+    EXPECT_EQ(sig, 0x1111u);
+    // The current slot is untouched by the read.
+    EXPECT_EQ(sb.peek(3), 0x2222u);
+}
+
+TEST(SignatureBuffer, ReadComparisonFailsOnInvalidEntry)
+{
+    SignatureBuffer sb(8, 2);
+    sb.rotate();              // comparison slot never written/validated
+    u32 sig = 0xdead;
+    EXPECT_FALSE(sb.readComparison(0, sig));
+    EXPECT_EQ(sig, 0xdeadu);  // out-param untouched on failure
+}
+
+TEST(SignatureBuffer, ReadComparisonCountsOneAccess)
+{
+    SignatureBuffer sb(8, 2);
+    sb.rotate();
+    sb.write(0, 7);
+    sb.rotate();
+    u64 before = sb.accesses();
+    u32 sig = 0;
+    sb.readComparison(0, sig);
+    EXPECT_EQ(sb.accesses(), before + 1);
+}
+
+TEST(SignatureBuffer, ReadComparisonSpanThreeReadsTwoFramesBack)
+{
+    SignatureBuffer sb(8, 3);
+    sb.rotate();
+    sb.write(1, 0xAAAA);      // frame 0
+    sb.rotate();
+    sb.write(1, 0xBBBB);      // frame 1
+    sb.rotate();              // frame 2: comparison is frame 0
+    u32 sig = 0;
+    EXPECT_TRUE(sb.readComparison(1, sig));
+    EXPECT_EQ(sig, 0xAAAAu);
+}

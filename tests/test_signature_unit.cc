@@ -38,7 +38,13 @@ struct SigFixture : ::testing::Test
     std::vector<u8>
     randomBlock(std::size_t blocks64)
     {
-        std::vector<u8> v(blocks64 * 8);
+        return randomBytes(blocks64 * 8);
+    }
+
+    std::vector<u8>
+    randomBytes(std::size_t n)
+    {
+        std::vector<u8> v(n);
         for (auto &b : v)
             b = static_cast<u8>(rng.nextBounded(256));
         return v;
@@ -98,6 +104,49 @@ TEST_F(SigFixture, NewDrawcallConstantsRefolded)
     for (auto *part : {&constF, &attrsC, &constS, &attrsA})
         stream.insert(stream.end(), part->begin(), part->end());
     EXPECT_EQ(buffer->peek(2), crc32Tabular(stream));
+}
+
+TEST_F(SigFixture, UnalignedBlockLengthsAreByteExact)
+{
+    // The real pipeline feeds unaligned blocks (70-byte constants:
+    // 64 B of uniforms plus 6 state bytes). The accumulated tile
+    // signature must equal the bitwise-reference CRC of the exact
+    // concatenated byte stream - under the old zero-padding datapath
+    // this failed for every non-multiple-of-8 block.
+    auto constants = randomBytes(70);
+    auto primA = randomBytes(144);
+    auto primB = randomBytes(20);
+
+    unit->onConstants(constants);
+    unit->onPrimitive(primA, {4}, 100);
+    unit->onPrimitive(primB, {4}, 100);
+
+    std::vector<u8> stream = constants;
+    stream.insert(stream.end(), primA.begin(), primA.end());
+    stream.insert(stream.end(), primB.begin(), primB.end());
+    EXPECT_EQ(buffer->peek(4), crc32Reference(stream));
+}
+
+TEST_F(SigFixture, TrailingZeroBlockBytesChangeTheSignature)
+{
+    // Two primitives whose attribute blocks differ only by trailing
+    // zero bytes must produce different tile signatures (the aliasing
+    // class the length-aware subsystem eliminates). Same constants,
+    // same fold sequence, two consecutive frames.
+    auto constants = randomBytes(70);
+    auto attrs = randomBytes(20);
+    auto attrsPadded = attrs;
+    attrsPadded.resize(24, 0);
+
+    unit->onConstants(constants);
+    unit->onPrimitive(attrs, {1}, 100);
+    u32 sigShort = buffer->peek(1);
+
+    buffer->rotate();
+    unit->frameBegin();
+    unit->onConstants(constants);
+    unit->onPrimitive(attrsPadded, {1}, 100);
+    EXPECT_NE(buffer->peek(1), sigShort);
 }
 
 TEST_F(SigFixture, TilesAccumulateIndependently)

@@ -181,3 +181,31 @@ TEST_F(TeFixture, SignatureEnergyAccounted)
     EXPECT_GT(stats.counter("te.lutAccesses"), 0u);
     EXPECT_GT(stats.counter("te.sigBufferAccesses"), 0u);
 }
+
+TEST_F(TeFixture, SignatureBufferEnergyChargedPerFrameNotCumulative)
+{
+    // Regression: frameEnd used to charge the *cumulative*
+    // buffer.accesses() every frame, so N frames billed
+    // 1+2+...+N frames' worth of accesses (quadratic overcount).
+    // On a static scene every frame performs the same accesses
+    // (one comparison read + one write per tile), so N frames must
+    // charge exactly N times one frame's energy.
+    buildScene(false);
+    frame(0);
+    const u64 oneFrame = stats.counter("te.sigBufferAccesses");
+    ASSERT_GT(oneFrame, 0u);
+    for (u64 f = 1; f < 6; f++)
+        frame(f);
+    EXPECT_EQ(stats.counter("te.sigBufferAccesses"), 6 * oneFrame);
+}
+
+TEST_F(TeFixture, SignatureReadsAndWritesOncePerTile)
+{
+    // The comparison-slot read API removed the double-write of the
+    // old peekComparison path: per tile per frame, TE now performs
+    // exactly one comparison read and one signature write.
+    buildScene(false);
+    frame(0);
+    EXPECT_EQ(stats.counter("te.sigBufferAccesses"),
+              2ull * config.numTiles());
+}
