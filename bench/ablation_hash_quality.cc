@@ -82,9 +82,12 @@ adversarialCollisions(HashKind kind, u64 trials)
 u64
 suiteFalsePositives(HashKind kind, const ExperimentScale &scale)
 {
-    const std::vector<SimJob> jobs = buildSweepJobs(
+    std::vector<SimJob> jobs = buildSweepJobs(
         allAliases(), {Technique::RenderingElimination},
         scale.screenWidth, scale.screenHeight, scale.frames, kind);
+    // Replay only: the command stream is hash-independent, so main()
+    // records the trace set once up front rather than per hash kind.
+    applyTraceFlags(jobs, "", scale.replayDir);
     const std::vector<SimResult> results =
         ParallelRunner(scale.jobs).run(jobs);
     return mergeResults(results).reFalsePositives;
@@ -101,6 +104,13 @@ main(int argc, char **argv)
     if (scale.screenWidth > 400) {
         scale.screenWidth = 400;
         scale.screenHeight = 256;
+    }
+    if (!scale.recordDir.empty()) {
+        // Record once: every hash kind sees the identical stream.
+        std::vector<SimJob> recordJobs = buildSweepJobs(
+            allAliases(), {Technique::RenderingElimination},
+            scale.screenWidth, scale.screenHeight, scale.frames);
+        recordSweepTraces(recordJobs, scale.recordDir);
     }
 
     const u64 trials = 20000;

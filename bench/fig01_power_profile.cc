@@ -67,10 +67,13 @@ main(int argc, char **argv)
         powerFromResult("desktop", desktopSim.run(), desktopConfig);
     printTableRow("desktop", {desktop}, 1);
 
-    const std::vector<SimJob> jobs =
+    std::vector<SimJob> jobs =
         buildSweepJobs(allAliases(), {Technique::Baseline},
                        scale.screenWidth, scale.screenHeight,
                        scale.frames);
+    // Honor the ExperimentScale trace flags like runSuite does (the
+    // desktop scene is not a suite alias and always runs live).
+    applyTraceFlags(jobs, scale.recordDir, scale.replayDir);
     const std::vector<SimResult> results =
         ParallelRunner(scale.jobs).run(jobs);
 

@@ -6,13 +6,16 @@
  * Usage:
  *   suite_cli [--workload ALIAS|all] [--tech base,re,te,memo]
  *             [--frames N] [--width W --height H]
- *             [--hash crc32|xor|add|fnv] [--csv FILE] [--quiet]
- *             [--jobs N] [--seed N]
+ *             [--hash crc32|xor|add|fnv] [--csv FILE] [--json FILE]
+ *             [--quiet] [--jobs N] [--seed N]
+ *             [--record-dir DIR] [--replay-dir DIR]
  *
  * Examples:
  *   suite_cli --workload ccs --tech base,re
  *   suite_cli --workload all --tech base,re,te,memo --csv out.csv
  *   suite_cli --workload all --tech base,re --jobs 4
+ *   suite_cli --workload all --record-dir traces/
+ *   suite_cli --workload all --replay-dir traces/ --csv replay.csv
  *
  * --jobs N runs the (workload x technique) sweep on N worker threads
  * (0 = all cores). Output and CSV are bit-identical for any N.
@@ -20,6 +23,10 @@
  * including 1); techniques of the same workload always share a seed
  * for fairness. Without the flag every workload uses the legacy
  * shared seed 1.
+ * --record-dir captures one frame trace per workload before the runs;
+ * --replay-dir feeds the runs from those traces instead of live scene
+ * generation — results are bit-identical to the recorded live run.
+ * --json appends one self-describing JSON object per run (JSON-Lines).
  */
 
 #include <cstdio>
@@ -47,6 +54,9 @@ struct CliOptions
     u32 width = 598, height = 384;
     HashKind hash = HashKind::Crc32;
     std::string csvPath;
+    std::string jsonPath;
+    std::string recordDir;
+    std::string replayDir;
     bool quiet = false;
     unsigned jobs = 1;
     u64 seed = 1;        //!< base content seed
@@ -62,37 +72,11 @@ usage()
                  "usage: suite_cli [--workload ALIAS|all] "
                  "[--tech base,re,te,memo] [--frames N]\n"
                  "                 [--width W --height H] "
-                 "[--hash crc32|xor|add|fnv] [--csv FILE] [--quiet]\n"
-                 "                 [--jobs N] [--seed N]\n");
+                 "[--hash crc32|xor|add|fnv] [--csv FILE] "
+                 "[--json FILE] [--quiet]\n"
+                 "                 [--jobs N] [--seed N] "
+                 "[--record-dir DIR] [--replay-dir DIR]\n");
     std::exit(2);
-}
-
-Technique
-parseTechnique(const std::string &name)
-{
-    if (name == "base" || name == "baseline")
-        return Technique::Baseline;
-    if (name == "re")
-        return Technique::RenderingElimination;
-    if (name == "te")
-        return Technique::TransactionElimination;
-    if (name == "memo")
-        return Technique::FragmentMemoization;
-    fatal("unknown technique: ", name);
-}
-
-HashKind
-parseHash(const std::string &name)
-{
-    if (name == "crc32")
-        return HashKind::Crc32;
-    if (name == "xor")
-        return HashKind::XorFold;
-    if (name == "add")
-        return HashKind::AddFold;
-    if (name == "fnv")
-        return HashKind::Fnv1a;
-    fatal("unknown hash kind: ", name);
 }
 
 CliOptions
@@ -120,7 +104,7 @@ parseArgs(int argc, char **argv)
             std::stringstream ss(next(i));
             std::string item;
             while (std::getline(ss, item, ','))
-                opts.techniques.push_back(parseTechnique(item));
+                opts.techniques.push_back(parseTechniqueArg(item));
         } else if (arg == "--frames") {
             opts.frames = std::strtoull(next(i), nullptr, 10);
         } else if (arg == "--width") {
@@ -130,9 +114,15 @@ parseArgs(int argc, char **argv)
             opts.height = static_cast<u32>(
                 std::strtoul(next(i), nullptr, 10));
         } else if (arg == "--hash") {
-            opts.hash = parseHash(next(i));
+            opts.hash = parseHashArg(next(i));
         } else if (arg == "--csv") {
             opts.csvPath = next(i);
+        } else if (arg == "--json") {
+            opts.jsonPath = next(i);
+        } else if (arg == "--record-dir") {
+            opts.recordDir = next(i);
+        } else if (arg == "--replay-dir") {
+            opts.replayDir = next(i);
         } else if (arg == "--quiet") {
             opts.quiet = true;
         } else if (arg == "--jobs") {
@@ -162,6 +152,12 @@ main(int argc, char **argv)
         if (!csv)
             fatal("cannot open csv file: ", opts.csvPath);
     }
+    std::ofstream json;
+    if (!opts.jsonPath.empty()) {
+        json.open(opts.jsonPath);
+        if (!json)
+            fatal("cannot open json file: ", opts.jsonPath);
+    }
 
     // Flatten the sweep into jobs; reporting walks results in job
     // order, so the output is identical whatever --jobs is.
@@ -177,15 +173,21 @@ main(int argc, char **argv)
             job.sceneSeed = deriveJobSeed(opts.seed, job.workload);
     }
 
-    auto reportRun = [&](SimResult &r, const GpuConfig &config) {
+    // Trace capture/replay: record before the sweep, then optionally
+    // feed the sweep from traces instead of live generation.
+    applyTraceFlags(jobs, opts.recordDir, opts.replayDir);
+
+    auto reportRun = [&](SimResult &r, const SimJob &job) {
         if (!opts.quiet) {
-            printRunSummary(std::cout, r, config);
+            printRunSummary(std::cout, r, job.config);
             std::cout << "\n";
         }
         if (csv.is_open()) {
             writeCsvRow(csv, r, csvHeader);
             csvHeader = false;
         }
+        if (json.is_open())
+            writeJsonRun(json, r, job.config, job.sceneSeed);
     };
     auto reportComparison = [&](const std::vector<SimResult> &results) {
         if (!opts.quiet && results.size() > 1) {
@@ -212,7 +214,7 @@ main(int argc, char **argv)
             SimResult r = streaming
                 ? std::move(runner.run({jobs[idx]}).front())
                 : std::move(allResults[idx]);
-            reportRun(r, jobs[idx].config);
+            reportRun(r, jobs[idx]);
             results.push_back(std::move(r));
             idx++;
         }
@@ -237,5 +239,7 @@ main(int argc, char **argv)
 
     if (csv.is_open())
         std::cout << "wrote " << opts.csvPath << "\n";
+    if (json.is_open())
+        std::cout << "wrote " << opts.jsonPath << "\n";
     return 0;
 }

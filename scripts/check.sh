@@ -4,8 +4,10 @@
 #
 # Configures, builds (-Wall -Wextra, warnings are the build's problem
 # to stay clean of), runs every registered ctest suite, and finishes
-# with a suite_cli determinism smoke: a parallel sweep must emit a CSV
-# bit-identical to the sequential one.
+# with two smokes: a suite_cli determinism pass (a parallel sweep must
+# emit a CSV bit-identical to the sequential one) and a trace
+# record->verify->replay pass (replaying a recorded trace must emit a
+# CSV bit-identical to the live run, and trace_cli verify must hold).
 #
 # A second configuration builds the library and tests with
 # ASan + UBSan (-DREGPU_SANITIZE=ON) and re-runs the unit suites, so
@@ -61,13 +63,24 @@ if [[ "${1:-}" != "--unit" ]]; then
     echo "== suite_cli parallel determinism smoke =="
     seq_csv=$(mktemp)
     par_csv=$(mktemp)
-    trap 'rm -f "$seq_csv" "$par_csv"' EXIT
+    replay_csv=$(mktemp)
+    trace_dir=$(mktemp -d)
+    trap 'rm -f "$seq_csv" "$par_csv" "$replay_csv"; rm -rf "$trace_dir"' EXIT
     "$BUILD_DIR"/suite_cli --workload all --tech base,re --frames 6 \
-        --width 256 --height 160 --quiet --csv "$seq_csv" --jobs 1
+        --width 256 --height 160 --quiet --csv "$seq_csv" --jobs 1 \
+        --record-dir "$trace_dir"
     "$BUILD_DIR"/suite_cli --workload all --tech base,re --frames 6 \
         --width 256 --height 160 --quiet --csv "$par_csv" --jobs 4
     cmp "$seq_csv" "$par_csv"
     echo "parallel sweep CSV is bit-identical to sequential"
+
+    echo "== trace record->verify->replay smoke =="
+    "$BUILD_DIR"/trace_cli verify "$trace_dir"/*.rgputrace
+    "$BUILD_DIR"/suite_cli --workload all --tech base,re --frames 6 \
+        --width 256 --height 160 --quiet --csv "$replay_csv" --jobs 4 \
+        --replay-dir "$trace_dir"
+    cmp "$seq_csv" "$replay_csv"
+    echo "trace replay CSV is bit-identical to the live run"
 
     run_sanitize_pass
 fi

@@ -36,11 +36,24 @@ valueNoise(Rng &rng, std::vector<float> &lattice, u32 lattN,
 
 } // namespace
 
+Texture::Texture(u32 id, u32 w, u32 h, std::vector<Color> texels_)
+    : id_(id), width_(w), height_(h), texels(std::move(texels_))
+{
+    // w == 0 would pass the power-of-two check (0 & ~0 == 0) and turn
+    // the texel() wrap mask into 0xFFFFFFFF - reject it explicitly.
+    REGPU_ASSERT(w > 0 && h > 0 && (w & (w - 1)) == 0
+                     && (h & (h - 1)) == 0,
+                 "texture dimensions must be non-zero powers of two");
+    REGPU_ASSERT(texels.size() == static_cast<std::size_t>(w) * h,
+                 "texel data size must match dimensions");
+}
+
 Texture::Texture(u32 id, u32 w, u32 h, TexturePattern pattern, u64 seed)
     : id_(id), width_(w), height_(h)
 {
-    REGPU_ASSERT((w & (w - 1)) == 0 && (h & (h - 1)) == 0,
-                 "texture dimensions must be powers of two");
+    REGPU_ASSERT(w > 0 && h > 0 && (w & (w - 1)) == 0
+                     && (h & (h - 1)) == 0,
+                 "texture dimensions must be non-zero powers of two");
     texels.resize(static_cast<std::size_t>(w) * h);
 
     Rng rng(seed ^ (static_cast<u64>(id) << 32));

@@ -47,6 +47,12 @@ class Texture
      */
     Texture(u32 id, u32 w, u32 h, TexturePattern pattern, u64 seed);
 
+    /**
+     * Wrap existing texel data (trace replay, imported assets).
+     * @param texels row-major RGBA data, exactly w*h texels (asserted)
+     */
+    Texture(u32 id, u32 w, u32 h, std::vector<Color> texels);
+
     u32 id() const { return id_; }
     u32 width() const { return width_; }
     u32 height() const { return height_; }
@@ -78,6 +84,9 @@ class Texture
 
     /** Footprint in bytes. */
     u64 sizeBytes() const { return u64(width_) * height_ * 4; }
+
+    /** Raw row-major texel storage (trace capture serialises this). */
+    const std::vector<Color> &texelData() const { return texels; }
 
     /** Overwrite a texel (tests / dynamic-texture experiments). */
     void

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The Simulator's input abstraction: anything that can feed it frames.
+ *
+ * A FrameSource models what the driver hands the GPU: the complete
+ * texture set (bound before frame 0 and stable for the run) and, per
+ * frame, the fully-resolved command stream the application submitted.
+ * Two implementations exist:
+ *
+ *  - Scene (scene/scene.hh): generates frames procedurally from a
+ *    scene graph + animators — the live path;
+ *  - TraceScene (trace/trace_scene.hh): replays frames recorded into
+ *    the binary trace format — the capture/replay path.
+ *
+ * Determinism contract: emitFrame(N) called twice yields byte-identical
+ * drawcalls, so a Simulator run is a pure function of (source, config,
+ * options) and record→replay reproduces SimResult bit-for-bit.
+ */
+
+#ifndef REGPU_SCENE_FRAME_SOURCE_HH
+#define REGPU_SCENE_FRAME_SOURCE_HH
+
+#include <string>
+#include <vector>
+
+#include "gpu/texture.hh"
+#include "gpu/vertex.hh"
+
+namespace regpu
+{
+
+/** Abstract provider of per-frame command streams. */
+class FrameSource
+{
+  public:
+    virtual ~FrameSource() = default;
+
+    /** Workload name (becomes SimResult::workload). */
+    virtual const std::string &name() const = 0;
+
+    /** The texture set, indexed by DrawCall textureId. */
+    virtual const std::vector<Texture> &textures() const = 0;
+
+    /** Emit the command stream for one frame (deterministic). */
+    virtual FrameCommands emitFrame(u64 frame) const = 0;
+};
+
+} // namespace regpu
+
+#endif // REGPU_SCENE_FRAME_SOURCE_HH

@@ -22,6 +22,7 @@
 #include "common/rng.hh"
 #include "gpu/texture.hh"
 #include "gpu/vertex.hh"
+#include "scene/frame_source.hh"
 
 namespace regpu
 {
@@ -81,7 +82,7 @@ struct Camera
 /**
  * The scene: objects + camera + global events.
  */
-class Scene
+class Scene : public FrameSource
 {
   public:
     Scene(std::string name, const GpuConfig &config)
@@ -96,7 +97,7 @@ class Scene
         };
     }
 
-    const std::string &name() const { return name_; }
+    const std::string &name() const override { return name_; }
 
     /** Register a texture; @return its id. */
     u32
@@ -128,9 +129,10 @@ class Scene
     void setClearColor(Color c) { clearColor = c; }
 
     /** Emit the command trace for one frame. */
-    FrameCommands emitFrame(u64 frame) const;
+    FrameCommands emitFrame(u64 frame) const override;
 
-    const std::vector<Texture> &textures() const { return textures_; }
+    const std::vector<Texture> &textures() const override
+    { return textures_; }
     const std::vector<SceneObject> &objects() const { return objects_; }
     const GpuConfig &gpuConfig() const { return config; }
 

@@ -11,10 +11,24 @@
 namespace regpu
 {
 
+namespace
+{
+
+constexpr const char *scaleUsage =
+    "valid flags: --fast | --full | --frames N | --jobs N"
+    " | --record-dir DIR | --replay-dir DIR";
+
+} // namespace
+
 ExperimentScale
 ExperimentScale::fromArgs(int argc, char **argv)
 {
     ExperimentScale s;
+    auto value = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            fatal(argv[i], " expects a value; ", scaleUsage);
+        return argv[++i];
+    };
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--fast") == 0) {
             s.screenWidth = 400;
@@ -24,10 +38,16 @@ ExperimentScale::fromArgs(int argc, char **argv)
             s.screenWidth = 1196;
             s.screenHeight = 768;
             s.frames = 50;
-        } else if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc) {
-            s.frames = std::strtoull(argv[++i], nullptr, 10);
-        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-            s.jobs = parseJobsArg(argv[++i]);
+        } else if (std::strcmp(argv[i], "--frames") == 0) {
+            s.frames = parseCountArg("--frames", value(i));
+        } else if (std::strcmp(argv[i], "--jobs") == 0) {
+            s.jobs = parseJobsArg(value(i));
+        } else if (std::strcmp(argv[i], "--record-dir") == 0) {
+            s.recordDir = value(i);
+        } else if (std::strcmp(argv[i], "--replay-dir") == 0) {
+            s.replayDir = value(i);
+        } else {
+            fatal("unknown flag: ", argv[i], "; ", scaleUsage);
         }
     }
     return s;
@@ -47,9 +67,10 @@ runSuite(const std::vector<std::string> &aliases,
          const std::vector<Technique> &techniques,
          const ExperimentScale &scale, HashKind hashKind)
 {
-    const std::vector<SimJob> jobs =
+    std::vector<SimJob> jobs =
         buildSweepJobs(aliases, techniques, scale.screenWidth,
                        scale.screenHeight, scale.frames, hashKind);
+    applyTraceFlags(jobs, scale.recordDir, scale.replayDir);
 
     ParallelRunner runner(scale.jobs);
     std::vector<SimResult> results = runner.run(jobs);

@@ -27,10 +27,24 @@ struct ExperimentScale
     u64 frames = 30;
     unsigned jobs = 1;  //!< worker threads for the sweep (0 = all cores)
 
-    /** Parse from argv: "--fast" shrinks, "--full" uses Table I with
-     *  50 frames (Fig. 2 setting), "--jobs N" runs the sweep on N
-     *  worker threads (results are identical for any N). Default is
-     *  Table I resolution with a 30-frame single-threaded run. */
+    /** When set, runSuite records one trace per workload here before
+     *  simulating (file name `<alias>.rgputrace`). */
+    std::string recordDir;
+    /** When set, runSuite replays `<alias>.rgputrace` from here
+     *  instead of generating scenes. */
+    std::string replayDir;
+
+    /**
+     * Parse from argv: "--fast" shrinks, "--full" uses Table I with
+     * 50 frames (Fig. 2 setting), "--frames N", "--jobs N" (results
+     * are identical for any N), "--record-dir D" / "--replay-dir D"
+     * capture or replay frame traces. Default is Table I resolution
+     * with a 30-frame single-threaded run.
+     *
+     * Parsing is strict: an unknown flag, a flag missing its value,
+     * or a malformed number fatal()s with a usage message — a typo
+     * like "--frmes 50" must not silently run the defaults.
+     */
     static ExperimentScale fromArgs(int argc, char **argv);
 };
 

@@ -6,10 +6,14 @@
 #include <cstdlib>
 #include <exception>
 #include <limits>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 
 #include "common/logging.hh"
+#include "trace/trace_scene.hh"
+#include "trace/trace_writer.hh"
 #include "workloads/workloads.hh"
 
 namespace regpu
@@ -56,6 +60,36 @@ parseJobsArg(const char *text)
     return static_cast<unsigned>(v);
 }
 
+Technique
+parseTechniqueArg(const std::string &name)
+{
+    if (name == "base" || name == "baseline")
+        return Technique::Baseline;
+    if (name == "re")
+        return Technique::RenderingElimination;
+    if (name == "te")
+        return Technique::TransactionElimination;
+    if (name == "memo")
+        return Technique::FragmentMemoization;
+    fatal("unknown technique: ", name,
+          " (valid: base, re, te, memo)");
+}
+
+HashKind
+parseHashArg(const std::string &name)
+{
+    if (name == "crc32")
+        return HashKind::Crc32;
+    if (name == "xor")
+        return HashKind::XorFold;
+    if (name == "add")
+        return HashKind::AddFold;
+    if (name == "fnv")
+        return HashKind::Fnv1a;
+    fatal("unknown hash kind: ", name,
+          " (valid: crc32, xor, add, fnv)");
+}
+
 std::vector<SimJob>
 buildSweepJobs(const std::vector<std::string> &aliases,
                const std::vector<Technique> &techniques,
@@ -96,23 +130,59 @@ ParallelRunner::run(const std::vector<SimJob> &jobs) const
     if (jobs.empty())
         return results;
 
-    // Reject unknown aliases on the calling thread: fatal() calls
+    // Reject bad jobs on the calling thread: fatal() calls
     // std::exit(), which must never run on a worker while siblings
-    // are mid-simulation.
-    for (const SimJob &job : jobs) {
-        const auto &suite = benchmarkSuite();
-        if (std::none_of(suite.begin(), suite.end(),
-                         [&](const BenchmarkInfo &b)
-                         { return b.alias == job.workload; }))
-            fatal("unknown benchmark alias: ", job.workload);
+    // are mid-simulation. Live jobs must name a suite alias. Replay
+    // jobs get their trace fully verified here (every chunk CRC, not
+    // just the header/index a TraceReader open checks) - TEXT/FRAM
+    // corruption is otherwise only discovered lazily, which would put
+    // the fatal() on a worker. The cache is process-wide so streaming
+    // frontends (one run() call per sweep cell) and per-technique
+    // replay loops verify each file once, not once per cell; trace
+    // files are assumed immutable for the life of the process.
+    static std::map<std::string, u64> verifiedTraceFrames;
+    static std::mutex verifiedMutex;
+    {
+        std::lock_guard<std::mutex> verifiedLock(verifiedMutex);
+        for (const SimJob &job : jobs) {
+            if (job.tracePath.empty()) {
+                if (!isBenchmarkAlias(job.workload))
+                    fatalUnknownAlias(job.workload);
+                continue;
+            }
+            auto it = verifiedTraceFrames.find(job.tracePath);
+            if (it == verifiedTraceFrames.end()) {
+                const TraceVerifyReport report =
+                    verifyTraceFile(job.tracePath);
+                if (!report.ok)
+                    fatal("trace: ", job.tracePath,
+                          " failed verification: ",
+                          report.errors.front());
+                it = verifiedTraceFrames
+                         .emplace(job.tracePath, report.frames)
+                         .first;
+            }
+            if (job.traceFirstFrame + job.options.frames > it->second)
+                fatal("trace: job wants frames [", job.traceFirstFrame,
+                      ", ", job.traceFirstFrame + job.options.frames,
+                      ") but ", job.tracePath, " has only ", it->second,
+                      " frames");
+        }
     }
 
     auto runOne = [&](std::size_t i) {
         const SimJob &job = jobs[i];
-        auto scene = makeBenchmark(job.workload, job.config,
-                                   job.sceneSeed);
-        Simulator sim(*scene, job.config, job.options);
-        results[i] = sim.run();
+        if (!job.tracePath.empty()) {
+            TraceScene scene(job.tracePath, job.traceFirstFrame,
+                             job.options.frames);
+            Simulator sim(scene, job.config, job.options);
+            results[i] = sim.run();
+        } else {
+            auto scene = makeBenchmark(job.workload, job.config,
+                                       job.sceneSeed);
+            Simulator sim(*scene, job.config, job.options);
+            results[i] = sim.run();
+        }
     };
 
     const unsigned pool =
@@ -153,6 +223,127 @@ ParallelRunner::run(const std::vector<SimJob> &jobs) const
     if (firstError)
         std::rethrow_exception(firstError);
     return results;
+}
+
+void
+recordSweepTraces(const std::vector<SimJob> &jobs, const std::string &dir)
+{
+    // One trace per distinct workload: techniques of the same sweep
+    // share scene content (same alias, seed, resolution, frames), so
+    // the first job of each alias fully specifies its capture.
+    std::vector<std::string> recorded;
+    for (const SimJob &job : jobs) {
+        if (std::find(recorded.begin(), recorded.end(), job.workload)
+            != recorded.end())
+            continue;
+        auto scene = makeBenchmark(job.workload, job.config,
+                                   job.sceneSeed);
+        const std::string path = traceFilePath(dir, job.workload);
+        captureTrace(*scene, job.config, job.options.frames,
+                     job.sceneSeed, path);
+        inform("recorded ", job.options.frames, " frames of ",
+               job.workload, " to ", path);
+        recorded.push_back(job.workload);
+    }
+}
+
+void
+retargetJobsToTraces(std::vector<SimJob> &jobs, const std::string &dir)
+{
+    // One reader per distinct trace; warnings fire once per path, not
+    // once per (workload x technique) cell.
+    std::map<std::string, std::unique_ptr<TraceReader>> readers;
+    for (SimJob &job : jobs) {
+        job.tracePath = traceFilePath(dir, job.workload);
+        auto it = readers.find(job.tracePath);
+        const bool firstVisit = it == readers.end();
+        if (firstVisit)
+            it = readers
+                     .emplace(job.tracePath,
+                              std::make_unique<TraceReader>(job.tracePath))
+                     .first;
+        const TraceReader &reader = *it->second;
+        const TraceMeta &meta = reader.meta();
+        if (meta.name != job.workload)
+            fatal("trace ", job.tracePath, " records workload '",
+                  meta.name, "', not '", job.workload,
+                  "' (stale or renamed trace?)");
+        if (firstVisit
+            && (meta.screenWidth != job.config.screenWidth
+                || meta.screenHeight != job.config.screenHeight))
+            warn("trace ", job.tracePath, " was captured at ",
+                 meta.screenWidth, "x", meta.screenHeight,
+                 "; replaying at that resolution (requested ",
+                 job.config.screenWidth, "x", job.config.screenHeight,
+                 ")");
+        if (firstVisit && meta.seed != job.sceneSeed)
+            warn("trace ", job.tracePath, " was captured with seed ",
+                 meta.seed, "; replaying that content (requested seed ",
+                 job.sceneSeed, ")");
+        job.config.scaleResolution(meta.screenWidth, meta.screenHeight);
+        if (meta.tileWidth != 0) {
+            job.config.tileWidth = meta.tileWidth;
+            job.config.tileHeight = meta.tileHeight;
+        }
+        if (job.options.frames > reader.frameCount())
+            fatal("trace: replay wants ", job.options.frames,
+                  " frames but ", job.tracePath, " holds only ",
+                  reader.frameCount());
+        job.sceneSeed = meta.seed;
+    }
+}
+
+void
+applyTraceFlags(std::vector<SimJob> &jobs, const std::string &recordDir,
+                const std::string &replayDir)
+{
+    if (!recordDir.empty())
+        recordSweepTraces(jobs, recordDir);
+    if (!replayDir.empty())
+        retargetJobsToTraces(jobs, replayDir);
+}
+
+std::vector<SimJob>
+buildReplayShards(const std::string &tracePath, const GpuConfig &config,
+                  const SimOptions &options, unsigned shards)
+{
+    if (shards == 0)
+        fatal("buildReplayShards: shard count must be positive");
+    TraceReader reader(tracePath);
+    const TraceMeta &meta = reader.meta();
+    if (options.frames > reader.frameCount())
+        fatal("trace: replay wants ", options.frames, " frames but ",
+              tracePath, " holds only ", reader.frameCount());
+    const u64 frames =
+        options.frames == 0 ? reader.frameCount() : options.frames;
+    if (frames == 0)
+        fatal("trace: nothing to replay in ", tracePath);
+    const u64 shardCount = std::min<u64>(shards, frames);
+
+    std::vector<SimJob> jobs;
+    jobs.reserve(shardCount);
+    u64 start = 0;
+    for (u64 s = 0; s < shardCount; s++) {
+        // Distribute remainder frames over the leading shards.
+        const u64 len = frames / shardCount
+            + (s < frames % shardCount ? 1 : 0);
+        SimJob job;
+        job.workload = meta.name;
+        job.config = config;
+        job.config.scaleResolution(meta.screenWidth, meta.screenHeight);
+        if (meta.tileWidth != 0) {
+            job.config.tileWidth = meta.tileWidth;
+            job.config.tileHeight = meta.tileHeight;
+        }
+        job.options = options;
+        job.options.frames = len;
+        job.sceneSeed = meta.seed;
+        job.tracePath = tracePath;
+        job.traceFirstFrame = start;
+        jobs.push_back(std::move(job));
+        start += len;
+    }
+    return jobs;
 }
 
 SimResult

@@ -37,6 +37,13 @@ struct SimJob
     SimOptions options;
     u64 sceneSeed = 1;     //!< content seed; keep fixed across
                            //!< techniques so comparisons are fair
+
+    /** When set, replay this trace file (trace/trace_scene.hh)
+     *  instead of generating the scene from `workload`. */
+    std::string tracePath;
+    /** First trace frame of this job's replay window (frame-range
+     *  sharding); options.frames is the window length. */
+    u64 traceFirstFrame = 0;
 };
 
 /**
@@ -57,6 +64,14 @@ u64 parseCountArg(const char *flag, const char *text);
 /** parseCountArg specialised for --jobs (must also fit unsigned). */
 unsigned parseJobsArg(const char *text);
 
+/** Parse a technique name ("base"/"baseline", "re", "te", "memo");
+ *  fatal() on anything else. Shared by the CLI frontends. */
+Technique parseTechniqueArg(const std::string &name);
+
+/** Parse a hash-kind name ("crc32", "xor", "add", "fnv"); fatal() on
+ *  anything else. Shared by the CLI frontends. */
+HashKind parseHashArg(const std::string &name);
+
 /**
  * Flatten a (workload x technique) sweep into a job vector, outer
  * loop over aliases, inner over techniques. Every cell shares the
@@ -67,6 +82,53 @@ buildSweepJobs(const std::vector<std::string> &aliases,
                const std::vector<Technique> &techniques,
                u32 screenWidth, u32 screenHeight, u64 frames,
                HashKind hashKind = HashKind::Crc32, u64 sceneSeed = 1);
+
+/**
+ * Record one trace per distinct workload of @p jobs into @p dir (file
+ * name: `<alias>.rgputrace`), each at that job's resolution, frame
+ * count and scene seed. Replaying these traces reproduces the jobs'
+ * SimResults bit-for-bit. Techniques share one trace: the command
+ * stream does not depend on the technique.
+ */
+void recordSweepTraces(const std::vector<SimJob> &jobs,
+                       const std::string &dir);
+
+/**
+ * Point every job of @p jobs at `dir/<alias>.rgputrace` instead of
+ * live generation. Each job adopts the trace's recorded resolution
+ * and tile grid (warn() when that differs from the job's request —
+ * bit-identical replay requires simulating what was captured);
+ * fatal() when a trace is missing or holds fewer frames than the job
+ * needs.
+ */
+void retargetJobsToTraces(std::vector<SimJob> &jobs,
+                          const std::string &dir);
+
+/**
+ * Apply the ExperimentScale-style trace flags to a job vector:
+ * recordSweepTraces into @p recordDir when set, then
+ * retargetJobsToTraces from @p replayDir when set (record-then-replay
+ * of the same directory round-trips). Empty strings are no-ops. The
+ * single entry point every sweep frontend (runSuite, suite_cli, the
+ * custom-loop benches) shares.
+ */
+void applyTraceFlags(std::vector<SimJob> &jobs,
+                     const std::string &recordDir,
+                     const std::string &replayDir);
+
+/**
+ * Shard one trace replay into @p shards jobs over contiguous,
+ * disjoint frame ranges (the trace's index table makes each shard's
+ * first-frame seek O(1)). All shards share @p config's technique and
+ * @p options; resolution and tile grid are adopted from the trace.
+ * Useful for throughput-oriented scans of long captures; note the
+ * per-shard signature history restarts at each range boundary, so a
+ * merged shard run matches a contiguous run only on frame counts,
+ * not on every redundancy metric.
+ */
+std::vector<SimJob>
+buildReplayShards(const std::string &tracePath, const GpuConfig &config,
+                  const SimOptions &options, unsigned shards);
 
 /**
  * Fixed-size worker pool over a job vector.

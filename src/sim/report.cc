@@ -1,5 +1,6 @@
 #include "sim/report.hh"
 
+#include <cstdio>
 #include <iomanip>
 
 namespace regpu
@@ -12,6 +13,31 @@ double
 pct(u64 part, u64 whole)
 {
     return whole ? 100.0 * part / whole : 0.0;
+}
+
+/** Minimal JSON string escaping (quotes, backslashes, control). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
 }
 
 } // namespace
@@ -117,6 +143,50 @@ csvColumns()
         "equalTilesConsecutivePct",
     };
     return columns;
+}
+
+void
+writeJsonRun(std::ostream &os, const SimResult &r,
+             const GpuConfig &config, u64 sceneSeed)
+{
+    os << "{";
+    os << "\"workload\":\"" << jsonEscape(r.workload) << "\"";
+    os << ",\"technique\":\"" << techniqueName(r.technique) << "\"";
+    os << ",\"seed\":" << sceneSeed;
+    os << ",\"frames\":" << r.frames;
+    os << ",\"screenWidth\":" << config.screenWidth;
+    os << ",\"screenHeight\":" << config.screenHeight;
+    os << ",\"tileWidth\":" << config.tileWidth;
+    os << ",\"tileHeight\":" << config.tileHeight;
+    os << ",\"geometryCycles\":" << r.geometryCycles;
+    os << ",\"rasterCycles\":" << r.rasterCycles;
+    os << ",\"totalCycles\":" << r.totalCycles();
+    os << ",\"energyGpuPj\":" << r.energy.gpu();
+    os << ",\"energyMemPj\":" << r.energy.memory();
+    os << ",\"energyTotalPj\":" << r.energy.total();
+    os << ",\"dramGeometryB\":" << r.traffic[TrafficClass::Geometry];
+    os << ",\"dramPrimitivesB\":" << r.traffic[TrafficClass::Primitives];
+    os << ",\"dramTexelsB\":" << r.traffic[TrafficClass::Texels];
+    os << ",\"dramColorsB\":" << r.traffic[TrafficClass::Colors];
+    os << ",\"tilesTotal\":" << r.tilesTotal;
+    os << ",\"tilesRendered\":" << r.tilesRendered;
+    os << ",\"tilesSkipped\":" << r.tilesSkippedByRe;
+    os << ",\"flushesElided\":" << r.tileFlushesEliminated;
+    os << ",\"eqColorsEqInputs\":"
+       << r.tileClasses.equalColorsEqualInputs;
+    os << ",\"eqColorsDiffInputs\":"
+       << r.tileClasses.equalColorsDiffInputs;
+    os << ",\"diffColorsDiffInputs\":"
+       << r.tileClasses.diffColorsDiffInputs;
+    os << ",\"diffColorsEqInputs\":"
+       << r.tileClasses.diffColorsEqualInputs;
+    os << ",\"fragmentsShaded\":" << r.fragmentsShaded;
+    os << ",\"fragmentsMemoReused\":" << r.fragmentsMemoReused;
+    os << ",\"signatureStallCycles\":" << r.signatureStallCycles;
+    os << ",\"falsePositives\":" << r.reFalsePositives;
+    os << ",\"equalTilesConsecutivePct\":"
+       << r.equalTilesConsecutivePct;
+    os << "}\n";
 }
 
 void

@@ -41,6 +41,16 @@ void writeCsvRow(std::ostream &os, const SimResult &result,
 /** Machine-readable column names of the CSV schema (stable order). */
 const std::vector<std::string> &csvColumns();
 
+/**
+ * Append one run as a self-describing JSON object on a single line
+ * (JSON-Lines: one object per run, no enclosing array). Carries the
+ * run's identity (workload, technique, seed, frames, resolution) next
+ * to every metric of the CSV schema, so downstream plotting keys on
+ * names instead of parsing CSV headers.
+ */
+void writeJsonRun(std::ostream &os, const SimResult &result,
+                  const GpuConfig &config, u64 sceneSeed);
+
 } // namespace regpu
 
 #endif // REGPU_SIM_REPORT_HH

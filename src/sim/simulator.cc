@@ -5,7 +5,7 @@
 namespace regpu
 {
 
-Simulator::Simulator(const Scene &scene_, const GpuConfig &config_,
+Simulator::Simulator(const FrameSource &scene_, const GpuConfig &config_,
                      const SimOptions &options_)
     : scene(scene_), config(config_), options(options_), cycles(config)
 {

@@ -18,6 +18,7 @@
 #include "memo/fragment_memo.hh"
 #include "power/energy_model.hh"
 #include "re/rendering_elimination.hh"
+#include "scene/frame_source.hh"
 #include "scene/scene.hh"
 #include "te/transaction_elimination.hh"
 #include "timing/cycle_model.hh"
@@ -90,12 +91,14 @@ struct SimOptions
 };
 
 /**
- * Runs one (scene, technique) pair.
+ * Runs one (frame source, technique) pair. The source is either a
+ * live Scene or a TraceScene replaying a recorded capture; the two
+ * produce bit-identical results for identical command streams.
  */
 class Simulator
 {
   public:
-    Simulator(const Scene &scene, const GpuConfig &config,
+    Simulator(const FrameSource &scene, const GpuConfig &config,
               const SimOptions &options = {});
 
     /** Execute the configured number of frames. */
@@ -108,7 +111,7 @@ class Simulator
     FrameResult stepFrame(u64 frameIndex);
 
   private:
-    const Scene &scene;
+    const FrameSource &scene;
     GpuConfig config;  //!< local copy (technique-specific tweaks)
     SimOptions options;
 

@@ -1,0 +1,232 @@
+#include "trace/trace_format.hh"
+
+#include "crc/crc32.hh"
+#include "gpu/shader.hh"
+
+namespace regpu
+{
+
+u32
+traceChunkCrc(u32 type, std::span<const u8> payload)
+{
+    Crc32Stream crc;
+    crc.putU32(type);
+    crc.putU32(static_cast<u32>(payload.size()));
+    crc.putU32(static_cast<u32>(payload.size() >> 32));
+    crc.update(payload);
+    return crc.value();
+}
+
+void
+serializeMeta(ByteBuffer &out, const TraceMeta &meta)
+{
+    out.putString(meta.name);
+    out.putU64(meta.seed);
+    out.putU64(meta.frames);
+    out.putU32(meta.screenWidth);
+    out.putU32(meta.screenHeight);
+    out.putU32(meta.tileWidth);
+    out.putU32(meta.tileHeight);
+    out.putU32(meta.textureCount);
+}
+
+TraceMeta
+deserializeMeta(ByteCursor &in)
+{
+    TraceMeta meta;
+    meta.name = in.getString();
+    meta.seed = in.getU64();
+    meta.frames = in.getU64();
+    meta.screenWidth = in.getU32();
+    meta.screenHeight = in.getU32();
+    meta.tileWidth = in.getU32();
+    meta.tileHeight = in.getU32();
+    meta.textureCount = in.getU32();
+    return meta;
+}
+
+void
+serializeTexture(ByteBuffer &out, const Texture &tex)
+{
+    out.putU32(tex.id());
+    out.putU32(tex.width());
+    out.putU32(tex.height());
+    for (const Color &c : tex.texelData())
+        out.putU32(c.packed());
+}
+
+Texture
+deserializeTexture(ByteCursor &in)
+{
+    const u32 id = in.getU32();
+    const u32 w = in.getU32();
+    const u32 h = in.getU32();
+    if (w == 0 || h == 0 || (w & (w - 1)) != 0 || (h & (h - 1)) != 0)
+        fatal("trace: texture ", id, " has invalid dimensions ", w, "x",
+              h);
+    // Bound the count by the bytes actually present before reserving:
+    // malformed counts must fatal() with a diagnostic, not abort in
+    // the allocator.
+    if (static_cast<u64>(w) * h > in.remaining() / 4)
+        fatal("trace: texture ", id, " declares ", w, "x", h,
+              " texels but only ", in.remaining(),
+              " payload bytes remain");
+    std::vector<Color> texels;
+    texels.reserve(static_cast<std::size_t>(w) * h);
+    for (std::size_t i = 0; i < static_cast<std::size_t>(w) * h; i++)
+        texels.push_back(Color::fromPacked(in.getU32()));
+    return Texture(id, w, h, std::move(texels));
+}
+
+namespace
+{
+
+void
+serializeDraw(ByteBuffer &out, const DrawCall &draw)
+{
+    out.putU8(static_cast<u8>(draw.state.shader));
+    out.putU8(static_cast<u8>(draw.state.blendMode));
+    out.putU8(draw.state.depthTest ? 1 : 0);
+    out.putU8(draw.state.depthWrite ? 1 : 0);
+    out.putI32(draw.state.textureId);
+    out.putU32(draw.vertexBufferId);
+
+    out.putU8(draw.layout.hasColor ? 1 : 0);
+    out.putU8(draw.layout.hasTexcoord ? 1 : 0);
+    out.putU8(draw.layout.hasNormal ? 1 : 0);
+    out.putU8(0);  // pad to keep the uniform block 4-byte aligned
+
+    const UniformSet &u = draw.state.uniforms;
+    for (int r = 0; r < 4; r++)
+        for (int c = 0; c < 4; c++)
+            out.putF32(u.mvp.m[r][c]);
+    out.putF32(u.tint.x);
+    out.putF32(u.tint.y);
+    out.putF32(u.tint.z);
+    out.putF32(u.tint.w);
+    out.putF32(u.lightDir.x);
+    out.putF32(u.lightDir.y);
+    out.putF32(u.lightDir.z);
+    out.putF32(u.uvOffsetS);
+    out.putF32(u.uvOffsetT);
+
+    out.putU32(static_cast<u32>(draw.vertices.size()));
+    for (const Vertex &v : draw.vertices) {
+        out.putF32(v.position.x);
+        out.putF32(v.position.y);
+        out.putF32(v.position.z);
+        out.putF32(v.color.x);
+        out.putF32(v.color.y);
+        out.putF32(v.color.z);
+        out.putF32(v.color.w);
+        out.putF32(v.texcoord.x);
+        out.putF32(v.texcoord.y);
+        out.putF32(v.normal.x);
+        out.putF32(v.normal.y);
+        out.putF32(v.normal.z);
+    }
+}
+
+DrawCall
+deserializeDraw(ByteCursor &in)
+{
+    DrawCall draw;
+    const u8 shader = in.getU8();
+    if (shader > static_cast<u8>(ShaderKind::TexLit))
+        fatal("trace: unknown shader kind ", unsigned(shader));
+    draw.state.shader = static_cast<ShaderKind>(shader);
+    const u8 blend = in.getU8();
+    if (blend > static_cast<u8>(BlendMode::Additive))
+        fatal("trace: unknown blend mode ", unsigned(blend));
+    draw.state.blendMode = static_cast<BlendMode>(blend);
+    draw.state.depthTest = in.getU8() != 0;
+    draw.state.depthWrite = in.getU8() != 0;
+    draw.state.textureId = in.getI32();
+    draw.vertexBufferId = in.getU32();
+
+    draw.layout.hasColor = in.getU8() != 0;
+    draw.layout.hasTexcoord = in.getU8() != 0;
+    draw.layout.hasNormal = in.getU8() != 0;
+    in.getU8();  // pad
+
+    UniformSet &u = draw.state.uniforms;
+    for (int r = 0; r < 4; r++)
+        for (int c = 0; c < 4; c++)
+            u.mvp.m[r][c] = in.getF32();
+    u.tint.x = in.getF32();
+    u.tint.y = in.getF32();
+    u.tint.z = in.getF32();
+    u.tint.w = in.getF32();
+    u.lightDir.x = in.getF32();
+    u.lightDir.y = in.getF32();
+    u.lightDir.z = in.getF32();
+    u.uvOffsetS = in.getF32();
+    u.uvOffsetT = in.getF32();
+
+    const u32 vertexCount = in.getU32();
+    if (vertexCount > in.remaining() / (12 * 4))
+        fatal("trace: draw declares ", vertexCount,
+              " vertices but only ", in.remaining(),
+              " payload bytes remain");
+    draw.vertices.reserve(vertexCount);
+    for (u32 i = 0; i < vertexCount; i++) {
+        Vertex v;
+        v.position.x = in.getF32();
+        v.position.y = in.getF32();
+        v.position.z = in.getF32();
+        v.color.x = in.getF32();
+        v.color.y = in.getF32();
+        v.color.z = in.getF32();
+        v.color.w = in.getF32();
+        v.texcoord.x = in.getF32();
+        v.texcoord.y = in.getF32();
+        v.normal.x = in.getF32();
+        v.normal.y = in.getF32();
+        v.normal.z = in.getF32();
+        draw.vertices.push_back(v);
+    }
+    return draw;
+}
+
+} // namespace
+
+void
+serializeFrame(ByteBuffer &out, u64 frameIndex, const FrameCommands &cmds)
+{
+    out.putU64(frameIndex);
+    out.putU8(cmds.globalStateChanged ? 1 : 0);
+    out.putU8(cmds.clearColor.r);
+    out.putU8(cmds.clearColor.g);
+    out.putU8(cmds.clearColor.b);
+    out.putU8(cmds.clearColor.a);
+    out.putU32(static_cast<u32>(cmds.draws.size()));
+    for (const DrawCall &draw : cmds.draws)
+        serializeDraw(out, draw);
+}
+
+FrameCommands
+deserializeFrame(ByteCursor &in, u64 *frameIndexOut)
+{
+    const u64 frameIndex = in.getU64();
+    if (frameIndexOut)
+        *frameIndexOut = frameIndex;
+    FrameCommands cmds;
+    cmds.globalStateChanged = in.getU8() != 0;
+    cmds.clearColor.r = in.getU8();
+    cmds.clearColor.g = in.getU8();
+    cmds.clearColor.b = in.getU8();
+    cmds.clearColor.a = in.getU8();
+    // A draw's wire minimum: 4 state bytes + textureId + bufferId +
+    // 4 layout bytes + 25 uniform floats + vertex count = 120 bytes.
+    const u32 drawCount = in.getU32();
+    if (drawCount > in.remaining() / 120)
+        fatal("trace: frame declares ", drawCount,
+              " draws but only ", in.remaining(),
+              " payload bytes remain");
+    cmds.draws.reserve(drawCount);
+    for (u32 i = 0; i < drawCount; i++)
+        cmds.draws.push_back(deserializeDraw(in));
+    return cmds;
+}
+
+} // namespace regpu

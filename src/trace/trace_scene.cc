@@ -1,0 +1,31 @@
+#include "trace/trace_scene.hh"
+
+namespace regpu
+{
+
+TraceScene::TraceScene(const std::string &path, u64 firstFrame,
+                       u64 frameCount)
+    : reader(path), firstFrame_(firstFrame)
+{
+    const u64 total = reader.frameCount();
+    if (firstFrame_ > total)
+        fatal("trace: replay window starts at frame ", firstFrame_,
+              " but trace has only ", total, " frames: ", path);
+    frames_ = frameCount == 0 ? total - firstFrame_ : frameCount;
+    if (firstFrame_ + frames_ > total)
+        fatal("trace: replay window [", firstFrame_, ", ",
+              firstFrame_ + frames_, ") exceeds the ", total,
+              " frames of ", path);
+    textures_ = reader.readTextures();
+}
+
+FrameCommands
+TraceScene::emitFrame(u64 frame) const
+{
+    if (frame >= frames_)
+        fatal("trace: frame ", frame, " past the replay window (",
+              frames_, " frames): ", reader.path());
+    return reader.readFrame(firstFrame_ + frame);
+}
+
+} // namespace regpu

@@ -811,6 +811,37 @@ benchmarkSuite()
     return suite;
 }
 
+bool
+isBenchmarkAlias(const std::string &alias)
+{
+    for (const BenchmarkInfo &b : benchmarkSuite())
+        if (b.alias == alias)
+            return true;
+    return false;
+}
+
+const std::string &
+benchmarkAliasList()
+{
+    static const std::string list = [] {
+        std::string s;
+        for (const BenchmarkInfo &b : benchmarkSuite()) {
+            if (!s.empty())
+                s += ", ";
+            s += b.alias;
+        }
+        return s;
+    }();
+    return list;
+}
+
+void
+fatalUnknownAlias(const std::string &alias)
+{
+    fatal("unknown benchmark alias: ", alias,
+          " (valid aliases: ", benchmarkAliasList(), ")");
+}
+
 std::unique_ptr<Scene>
 makeBenchmark(const std::string &alias, const GpuConfig &config, u64 seed)
 {
@@ -834,7 +865,7 @@ makeBenchmark(const std::string &alias, const GpuConfig &config, u64 seed)
         return makeRunner(config, seed);
     if (alias == "tib")
         return makeBallPuzzle(config, seed);
-    fatal("unknown benchmark alias: ", alias);
+    fatalUnknownAlias(alias);
 }
 
 std::unique_ptr<Scene>

@@ -46,6 +46,19 @@ struct BenchmarkInfo
 /** All ten benchmarks, in the paper's presentation order. */
 const std::vector<BenchmarkInfo> &benchmarkSuite();
 
+/** True iff @p alias names a suite benchmark. */
+bool isBenchmarkAlias(const std::string &alias);
+
+/** Comma-separated valid aliases, for "unknown alias" diagnostics. */
+const std::string &benchmarkAliasList();
+
+/**
+ * Shared rejection path for unknown aliases: fatal() naming the bad
+ * alias and listing every valid one. Used by makeBenchmark and by the
+ * parallel runner's pre-flight job validation.
+ */
+[[noreturn]] void fatalUnknownAlias(const std::string &alias);
+
 /**
  * Build the scene for a benchmark.
  * @param alias   one of the suite aliases

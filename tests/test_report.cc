@@ -102,3 +102,38 @@ TEST(Report, CsvRowStartsWithWorkloadAndTechnique)
     writeCsvRow(os, r, false);
     EXPECT_EQ(os.str().substr(0, 7), "ccs,TE,");
 }
+
+TEST(Report, JsonRunIsSelfDescribing)
+{
+    GpuConfig config;
+    config.scaleResolution(160, 96);
+    config.technique = Technique::RenderingElimination;
+    SimResult r = smallRun(Technique::RenderingElimination);
+    std::ostringstream os;
+    writeJsonRun(os, r, config, 42);
+    const std::string line = os.str();
+
+    // One object per line, braces balanced, no raw newline inside.
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.substr(line.size() - 2), "}\n");
+    EXPECT_EQ(line.find('\n'), line.size() - 1);
+
+    // Identity metadata travels with the metrics.
+    EXPECT_NE(line.find("\"workload\":\"ccs\""), std::string::npos);
+    EXPECT_NE(line.find("\"technique\":\"RE\""), std::string::npos);
+    EXPECT_NE(line.find("\"seed\":42"), std::string::npos);
+    EXPECT_NE(line.find("\"frames\":4"), std::string::npos);
+    EXPECT_NE(line.find("\"screenWidth\":160"), std::string::npos);
+    EXPECT_NE(line.find("\"screenHeight\":96"), std::string::npos);
+
+    // Every metric key of the CSV schema that is not a CSV-only
+    // positional column appears by name.
+    for (const char *key :
+         {"totalCycles", "energyTotalPj", "dramTexelsB", "tilesTotal",
+          "tilesSkipped", "fragmentsShaded", "signatureStallCycles",
+          "falsePositives", "equalTilesConsecutivePct"})
+        EXPECT_NE(line.find("\"" + std::string(key) + "\":"),
+                  std::string::npos)
+            << key;
+}

@@ -39,11 +39,19 @@ TEST(Workloads, AllBenchmarksConstruct)
     }
 }
 
-TEST(Workloads, UnknownAliasDies)
+TEST(Workloads, UnknownAliasDiesListingValidAliases)
 {
     GpuConfig config;
     EXPECT_EXIT(makeBenchmark("nope", config),
-                ::testing::ExitedWithCode(1), "");
+                ::testing::ExitedWithCode(1),
+                "unknown benchmark alias: nope.*valid aliases:.*ccs.*"
+                "tib");
+    EXPECT_TRUE(isBenchmarkAlias("ccs"));
+    EXPECT_FALSE(isBenchmarkAlias("nope"));
+    for (const auto &info : benchmarkSuite())
+        EXPECT_NE(benchmarkAliasList().find(info.alias),
+                  std::string::npos)
+            << info.alias;
 }
 
 TEST(Workloads, ScenesAreDeterministicAcrossConstruction)
