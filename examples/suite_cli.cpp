@@ -9,6 +9,7 @@
  *             [--hash crc32|xor|add|fnv] [--csv FILE] [--json FILE]
  *             [--quiet] [--jobs N] [--seed N]
  *             [--record-dir DIR] [--replay-dir DIR]
+ *             [--assert-conservation]
  *
  * Examples:
  *   suite_cli --workload ccs --tech base,re
@@ -27,6 +28,10 @@
  * --replay-dir feeds the runs from those traces instead of live scene
  * generation — results are bit-identical to the recorded live run.
  * --json appends one self-describing JSON object per run (JSON-Lines).
+ * --assert-conservation exits fatally if any run reports a non-zero
+ * mem.conservationViolations stat (a memory-hierarchy routing path
+ * double-charged or dropped bytes) — the CI traffic-conservation
+ * smoke.
  */
 
 #include <cstdio>
@@ -58,6 +63,7 @@ struct CliOptions
     std::string recordDir;
     std::string replayDir;
     bool quiet = false;
+    bool assertConservation = false;
     unsigned jobs = 1;
     u64 seed = 1;        //!< base content seed
     bool seedSet = false;  //!< --seed given: derive per-workload seeds
@@ -75,7 +81,8 @@ usage()
                  "[--hash crc32|xor|add|fnv] [--csv FILE] "
                  "[--json FILE] [--quiet]\n"
                  "                 [--jobs N] [--seed N] "
-                 "[--record-dir DIR] [--replay-dir DIR]\n");
+                 "[--record-dir DIR] [--replay-dir DIR] "
+                 "[--assert-conservation]\n");
     std::exit(2);
 }
 
@@ -125,6 +132,8 @@ parseArgs(int argc, char **argv)
             opts.replayDir = next(i);
         } else if (arg == "--quiet") {
             opts.quiet = true;
+        } else if (arg == "--assert-conservation") {
+            opts.assertConservation = true;
         } else if (arg == "--jobs") {
             opts.jobs = parseJobsArg(next(i));
         } else if (arg == "--seed") {
@@ -235,6 +244,18 @@ main(int argc, char **argv)
                   << agg.tilesTotal << " rendered ("
                   << agg.tilesSkippedByRe << " eliminated), fragments "
                   << agg.fragmentsShaded << " shaded\n";
+    }
+
+    if (opts.assertConservation) {
+        u64 violations = 0;
+        for (const SimResult &r : sweepResults)
+            violations += r.stats.counter("mem.conservationViolations");
+        if (violations)
+            fatal("traffic conservation violated: ", violations,
+                  " boundary mismatches across ", sweepResults.size(),
+                  " runs");
+        std::cout << "traffic conservation: 0 violations across "
+                  << sweepResults.size() << " runs\n";
     }
 
     if (csv.is_open())

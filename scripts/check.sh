@@ -60,7 +60,11 @@ echo "== ctest =="
 (cd "$BUILD_DIR" && ctest --output-on-failure -j"$(nproc)" "${LABEL_ARGS[@]}")
 
 if [[ "${1:-}" != "--unit" ]]; then
-    echo "== suite_cli parallel determinism smoke =="
+    echo "== suite_cli parallel determinism + traffic-conservation smoke =="
+    # --assert-conservation makes every run verify the memory
+    # hierarchy's byte accounting (bytes-in == L1 hits + L2 fills +
+    # DRAM traffic at every level boundary) and exit non-zero on any
+    # violation.
     seq_csv=$(mktemp)
     par_csv=$(mktemp)
     replay_csv=$(mktemp)
@@ -68,9 +72,10 @@ if [[ "${1:-}" != "--unit" ]]; then
     trap 'rm -f "$seq_csv" "$par_csv" "$replay_csv"; rm -rf "$trace_dir"' EXIT
     "$BUILD_DIR"/suite_cli --workload all --tech base,re --frames 6 \
         --width 256 --height 160 --quiet --csv "$seq_csv" --jobs 1 \
-        --record-dir "$trace_dir"
+        --record-dir "$trace_dir" --assert-conservation
     "$BUILD_DIR"/suite_cli --workload all --tech base,re --frames 6 \
-        --width 256 --height 160 --quiet --csv "$par_csv" --jobs 4
+        --width 256 --height 160 --quiet --csv "$par_csv" --jobs 4 \
+        --assert-conservation
     cmp "$seq_csv" "$par_csv"
     echo "parallel sweep CSV is bit-identical to sequential"
 
@@ -78,9 +83,12 @@ if [[ "${1:-}" != "--unit" ]]; then
     "$BUILD_DIR"/trace_cli verify "$trace_dir"/*.rgputrace
     "$BUILD_DIR"/suite_cli --workload all --tech base,re --frames 6 \
         --width 256 --height 160 --quiet --csv "$replay_csv" --jobs 4 \
-        --replay-dir "$trace_dir"
+        --replay-dir "$trace_dir" --assert-conservation
     cmp "$seq_csv" "$replay_csv"
     echo "trace replay CSV is bit-identical to the live run"
+
+    echo "== micro_memsystem hierarchy-walk smoke =="
+    "$BUILD_DIR"/micro_memsystem --accesses 200000 --mix-frames 4
 
     run_sanitize_pass
 fi

@@ -34,6 +34,25 @@ validateMemoLutGeometry(u32 entries, u32 ways, const char *context)
               ") must be a multiple of ways (", ways, ")");
 }
 
+u64
+validateCacheGeometry(const CacheParams &p)
+{
+    if (p.lineBytes == 0)
+        fatal("cache '", p.name, "': lineBytes must be >= 1 (got 0)");
+    if (p.ways == 0)
+        fatal("cache '", p.name, "': ways must be >= 1 (got 0)");
+    const u64 setBytes = static_cast<u64>(p.lineBytes) * p.ways;
+    const u64 numSets = p.sizeBytes / setBytes;
+    if (numSets == 0)
+        fatal("cache '", p.name, "': sizeBytes (", p.sizeBytes,
+              ") smaller than one set (", setBytes, " B)");
+    if ((numSets & (numSets - 1)) != 0)
+        fatal("cache '", p.name, "': set count must be a power of two "
+              "(got ", numSets, " sets from ", p.sizeBytes, " B / ",
+              p.ways, " ways x ", p.lineBytes, " B lines)");
+    return numSets;
+}
+
 void
 GpuConfig::validate() const
 {
@@ -44,6 +63,18 @@ GpuConfig::validate() const
         fatal("GpuConfig: screen dimensions must be non-zero (got ",
               screenWidth, "x", screenHeight, ")");
     validateMemoLutGeometry(memoLutEntries, memoLutWays, "GpuConfig");
+    for (const CacheParams *p :
+         {&vertexCache, &textureCache, &tileCache, &l2Cache,
+          &colorBuffer, &depthBuffer})
+        validateCacheGeometry(*p);
+    if (numTextureCaches == 0)
+        fatal("GpuConfig: numTextureCaches must be >= 1 (got 0)");
+    if (dramBytesPerCycle == 0)
+        fatal("GpuConfig: dramBytesPerCycle must be >= 1 (got 0)");
+    if (dramQueueEntries == 0)
+        fatal("GpuConfig: dramQueueEntries must be >= 1 (got 0)");
+    if (texelMissesInFlight == 0)
+        fatal("GpuConfig: texelMissesInFlight must be >= 1 (got 0)");
 }
 
 void
@@ -56,7 +87,10 @@ GpuConfig::print(std::ostream &os) const
        << " (" << tilesX() << "x" << tilesY() << " tiles of "
        << tileWidth << "x" << tileHeight << ")\n"
        << "  dram            : " << dramMinLatency << "-" << dramMaxLatency
-       << " cycles, " << dramBytesPerCycle << " B/cycle\n"
+       << " cycles, " << dramBytesPerCycle << " B/cycle, "
+       << dramQueueEntries << "-entry queue\n"
+       << "  texel MLP       : " << texelMissesInFlight
+       << " misses in flight\n"
        << "  vertex cache    : " << vertexCache.sizeBytes / KiB << " KB\n"
        << "  texture caches  : " << numTextureCaches << " x "
        << textureCache.sizeBytes / KiB << " KB\n"

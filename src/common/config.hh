@@ -49,6 +49,16 @@ void validateMemoLutGeometry(u32 entries, u32 ways,
                              const char *context);
 
 /**
+ * Shared guard for cache geometry: fatal() when @p p has zero
+ * lineBytes, zero ways, fewer bytes than one full set, or a
+ * non-power-of-two set count (the set-index mask arithmetic would be
+ * undefined or silently alias). Used by GpuConfig::validate and the
+ * CacheModel constructor.
+ * @return the (validated, power-of-two) number of sets
+ */
+u64 validateCacheGeometry(const CacheParams &p);
+
+/**
  * Full simulation configuration. Defaults reproduce Table I.
  */
 struct GpuConfig
@@ -69,6 +79,14 @@ struct GpuConfig
     Cycles dramMaxLatency = 100;
     u32 dramBytesPerCycle = 4;      //!< dual-channel LPDDR3
     u64 dramSizeBytes = 1 * MiB * 1024; //!< 1 GB
+    /** Memory-controller request queue depth: bounds how far the DRAM
+     *  backlog can grow before the producer throttles (contention
+     *  model in timing/dram.hh). */
+    u32 dramQueueEntries = 16;
+
+    /** Texture misses the fragment processors keep in flight (MLP):
+     *  only 1/N of a texel miss's latency is exposed as stall. */
+    u32 texelMissesInFlight = 4;
 
     // --- Queues (entries) -------------------------------------------------
     u32 vertexQueueEntries = 16;    //!< x2, 136 B/entry
@@ -149,9 +167,13 @@ struct GpuConfig
 
     /**
      * Fail fast (fatal) on configurations that would be undefined
-     * behaviour downstream: zero tile/screen dimensions, or memoization
+     * behaviour downstream: zero tile/screen dimensions, memoization
      * LUT geometry with zero ways / fewer entries than ways / a
-     * non-multiple entry count (MemoLut would compute `sig % 0`).
+     * non-multiple entry count (MemoLut would compute `sig % 0`),
+     * cache geometries with zero lineBytes / zero ways / a
+     * non-power-of-two set count, a zero-bandwidth DRAM
+     * (dramBytesPerCycle == 0 divides by zero in the transfer-cycle
+     * math), a zero-depth DRAM queue, or zero texel MLP.
      */
     void validate() const;
 

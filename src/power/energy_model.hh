@@ -23,9 +23,13 @@ namespace regpu
 /** Per-event energies in picojoules (32 nm, 1 V). */
 struct EnergyParams
 {
-    // DRAM: LPDDR3 ~ tens of pJ per byte transferred + activation.
+    // DRAM: LPDDR3 ~ tens of pJ per byte transferred, a fixed
+    // per-burst command/IO cost, and a row-activation cost charged
+    // only when a burst misses the open row (the DramModel counts
+    // those, so sequential streams are cheaper than scattered ones).
     double dramPerByte = 25.0;
     double dramPerAccess = 400.0;
+    double dramPerActivation = 900.0;
 
     // On-chip SRAM reads, scaled by structure size.
     double vertexCacheAccess = 6.0;   // 4 KB
@@ -79,12 +83,13 @@ class EnergyModel
 
     const EnergyParams &params() const { return p; }
 
-    /** Charge DRAM traffic. */
+    /** Charge DRAM traffic (@p rowActivations = open-row misses). */
     void
-    chargeDram(u64 accesses, u64 bytes)
+    chargeDram(u64 accesses, u64 bytes, u64 rowActivations = 0)
     {
         acc.memDynamic += accesses * p.dramPerAccess
-            + bytes * p.dramPerByte;
+            + bytes * p.dramPerByte
+            + rowActivations * p.dramPerActivation;
     }
 
     /** Charge on-chip cache activity. */

@@ -373,8 +373,7 @@ mergeResults(const std::vector<SimResult> &results)
         merged.energy.memDynamic += r.energy.memDynamic;
         merged.energy.memStatic += r.energy.memStatic;
 
-        for (int c = 0; c < 4; c++)
-            merged.traffic.bytes[c] += r.traffic.bytes[c];
+        merged.traffic.merge(r.traffic);
 
         merged.tileClasses.comparedTiles += r.tileClasses.comparedTiles;
         merged.tileClasses.equalColorsEqualInputs +=

@@ -70,6 +70,10 @@ printRunSummary(std::ostream &os, const SimResult &r,
        << r.traffic[TrafficClass::Primitives] / 1e6 << ", texels "
        << r.traffic[TrafficClass::Texels] / 1e6 << ", colors "
        << r.traffic[TrafficClass::Colors] / 1e6 << ")\n";
+    os << "dram dirs   : reads " << r.traffic.totalReads() / 1e6
+       << " MB, writes " << r.traffic.totalWrites() / 1e6
+       << " MB, writebacks " << r.traffic.totalWritebacks() / 1e6
+       << " MB\n";
 
     os << "tiles       : " << r.tilesTotal << " processed, "
        << r.tilesRendered << " rendered, " << r.tilesSkippedByRe
@@ -135,7 +139,8 @@ csvColumns()
         "workload", "technique", "frames", "geometryCycles",
         "rasterCycles", "totalCycles", "energyGpuPj", "energyMemPj",
         "energyTotalPj", "dramGeometryB", "dramPrimitivesB",
-        "dramTexelsB", "dramColorsB", "tilesTotal", "tilesRendered",
+        "dramTexelsB", "dramColorsB", "dramReadB", "dramWriteB",
+        "dramWritebackB", "tilesTotal", "tilesRendered",
         "tilesSkipped", "flushesElided", "eqColorsEqInputs",
         "eqColorsDiffInputs", "diffColorsDiffInputs",
         "diffColorsEqInputs", "fragmentsShaded", "fragmentsMemoReused",
@@ -168,6 +173,9 @@ writeJsonRun(std::ostream &os, const SimResult &r,
     os << ",\"dramPrimitivesB\":" << r.traffic[TrafficClass::Primitives];
     os << ",\"dramTexelsB\":" << r.traffic[TrafficClass::Texels];
     os << ",\"dramColorsB\":" << r.traffic[TrafficClass::Colors];
+    os << ",\"dramReadB\":" << r.traffic.totalReads();
+    os << ",\"dramWriteB\":" << r.traffic.totalWrites();
+    os << ",\"dramWritebackB\":" << r.traffic.totalWritebacks();
     os << ",\"tilesTotal\":" << r.tilesTotal;
     os << ",\"tilesRendered\":" << r.tilesRendered;
     os << ",\"tilesSkipped\":" << r.tilesSkippedByRe;
@@ -204,7 +212,10 @@ writeCsvRow(std::ostream &os, const SimResult &r, bool header)
        << r.traffic[TrafficClass::Geometry] << ","
        << r.traffic[TrafficClass::Primitives] << ","
        << r.traffic[TrafficClass::Texels] << ","
-       << r.traffic[TrafficClass::Colors] << "," << r.tilesTotal << ","
+       << r.traffic[TrafficClass::Colors] << ","
+       << r.traffic.totalReads() << "," << r.traffic.totalWrites()
+       << "," << r.traffic.totalWritebacks() << ","
+       << r.tilesTotal << ","
        << r.tilesRendered << "," << r.tilesSkippedByRe << ","
        << r.tileFlushesEliminated << ","
        << r.tileClasses.equalColorsEqualInputs << ","

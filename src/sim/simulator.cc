@@ -151,8 +151,11 @@ Simulator::run()
 
         // ---- Timing ------------------------------------------------------
         MemFrameSummary memSum = mem->endFrame();
+        // Vertex misses are charged at the uncontended row latency:
+        // queueing delay is bandwidth contention, which the per-tile
+        // compute-vs-bandwidth max already models.
         Cycles geo = cycles.geometryCycles(
-            fr, memSum.vertexMisses, mem->dram().averageLatency());
+            fr, memSum.vertexMisses, mem->dram().averageRowLatency());
         Cycles stall = re ? re->frameStallCycles() : 0;
         result.signatureStallCycles += stall;
         result.geometryCycles += geo + stall;
@@ -160,13 +163,14 @@ Simulator::run()
         // Raster: per-tile compute/bandwidth max. Approximate the
         // per-tile DRAM share by splitting the frame's raster traffic
         // over rendered tiles proportionally to their activity.
-        u64 rasterBytes = 0;
-        {
-            const DramTraffic &tr = mem->dram().traffic();
-            rasterBytes = tr[TrafficClass::Primitives]
-                + tr[TrafficClass::Texels] + tr[TrafficClass::Colors]
-                - lastRasterBytesSnapshot;
-        }
+        // Geometry-class *writebacks* (Parameter Buffer evictions)
+        // belong here too: they occupy the bus while tiles render,
+        // unlike the geometry-stage vertex fills that stay excluded.
+        const u64 rasterBytes =
+            memSum.dramDelta[TrafficClass::Primitives]
+            + memSum.dramDelta[TrafficClass::Texels]
+            + memSum.dramDelta[TrafficClass::Colors]
+            + memSum.dramDelta.writebacks(TrafficClass::Geometry);
         u64 frameFragWork = 0;
         for (const TileOutcome &out : fr.tiles)
             frameFragWork += out.stats.fragmentsGenerated + 1;
@@ -189,21 +193,21 @@ Simulator::run()
             raster += cycles.tileCycles(out.stats, share, texStall);
         }
         result.rasterCycles += raster;
-        {
-            const DramTraffic &tr = mem->dram().traffic();
-            lastRasterBytesSnapshot = tr[TrafficClass::Primitives]
-                + tr[TrafficClass::Texels] + tr[TrafficClass::Colors];
-        }
     }
+
+    // ---- End-of-run flush --------------------------------------------
+    // Dirty Parameter Buffer lines still resident in the L2 are real
+    // DRAM-bound bytes; flush them so short runs report the same
+    // writeback accounting per byte produced as long ones.
+    mem->flushResident();
 
     // ---- Energy ------------------------------------------------------
     {
         const DramModel &dram = mem->dram();
-        energy.chargeDram(dram.accesses(), dram.traffic().total());
-        u64 texAcc = 0;
-        for (const auto &tc : mem->textureCachesRef())
-            texAcc += tc.accesses();
-        energy.chargeCaches(mem->vertexCacheRef().accesses(), texAcc,
+        energy.chargeDram(dram.accesses(), dram.traffic().total(),
+                          dram.rowMisses());
+        energy.chargeCaches(mem->vertexCacheRef().accesses(),
+                            mem->textureCacheAccesses(),
                             mem->tileCacheRef().accesses(),
                             mem->l2Ref().accesses());
         energy.chargeDatapath(
@@ -228,6 +232,25 @@ Simulator::run()
         energy.chargeStatic(result.totalCycles());
         result.energy = energy.breakdown();
         result.traffic = dram.traffic();
+    }
+
+    // ---- Traffic conservation ----------------------------------------
+    // Every byte the pipeline pushed into the hierarchy must be
+    // accounted for exactly once at each level boundary; a non-zero
+    // violation count means a routing path double-charges or drops
+    // bytes. Exported as a stat so CI can assert on it.
+    {
+        ConservationReport cons = mem->checkConservation();
+        statsReg.inc("mem.conservationViolations", cons.violations);
+        if (!cons.ok())
+            warn("memory-hierarchy conservation violated:\n",
+                 cons.detail);
+        statsReg.inc("mem.dramReadBytes",
+                     mem->dram().traffic().totalReads());
+        statsReg.inc("mem.dramWriteBytes",
+                     mem->dram().traffic().totalWrites());
+        statsReg.inc("mem.dramWritebackBytes",
+                     mem->dram().traffic().totalWritebacks());
     }
 
     result.reFalsePositives = statsReg.counter("re.falsePositives");

@@ -128,7 +128,6 @@ class Simulator
     std::vector<Color> prevFrameColors;
     u64 equalConsecutiveTiles = 0;
     u64 comparedConsecutiveTiles = 0;
-    u64 lastRasterBytesSnapshot = 0;
 };
 
 } // namespace regpu

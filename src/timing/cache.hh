@@ -3,9 +3,22 @@
  * Set-associative cache model with LRU replacement, used for every
  * on-chip cache in Table I (vertex, texture x4, tile, L2).
  *
- * The model is functional-tagged only (no data payload): it tracks
- * hits, misses, evictions and the byte traffic handed to the next
- * level, which is what the timing and energy models consume.
+ * The model is functional-tagged only (no data payload), but it is
+ * *level-linked*: each cache knows its downstream level (another
+ * CacheModel, or the DramModel at the bottom) and propagates demand
+ * misses and dirty writebacks itself, line by line, at the lines'
+ * actual addresses and in its own lineBytes granularity. Each line
+ * remembers the TrafficClass that allocated it, so a dirty eviction
+ * is charged to the stream that produced the data, not to whichever
+ * stream happened to trigger the eviction.
+ *
+ * Policy: read misses refill from the next level (full line, charged
+ * downstream as a demand read); write misses allocate without a
+ * refill fetch (the producers that write through caches here - the
+ * Polygon List Builder - write-combine full lines, so no merge read
+ * is needed); dirty evictions write the victim line downstream
+ * (DramDir::Writeback when the next level is DRAM). Writes are
+ * posted: only read misses contribute latency.
  */
 
 #ifndef REGPU_TIMING_CACHE_HH
@@ -14,8 +27,8 @@
 #include <vector>
 
 #include "common/config.hh"
-#include "common/logging.hh"
-#include "common/types.hh"
+#include "gpu/memiface.hh"
+#include "timing/dram.hh"
 
 namespace regpu
 {
@@ -25,120 +38,127 @@ struct CacheAccessResult
 {
     bool hit = false;
     bool writeback = false; //!< a dirty line was evicted
+    Addr writebackAddr = 0; //!< byte address of the evicted dirty line
+    Cycles latency = 0;     //!< hit latency + downstream fill latency
 };
 
 /**
- * Tag-only set-associative cache with true-LRU replacement and
- * write-back, write-allocate policy.
+ * Tag-only set-associative cache with true-LRU replacement,
+ * write-back/write-allocate policy and a link to the next memory
+ * level.
  */
 class CacheModel
 {
   public:
-    explicit CacheModel(const CacheParams &params)
-        : params_(params),
-          numSets(params.sizeBytes / (params.lineBytes * params.ways)),
-          sets(numSets)
-    {
-        REGPU_ASSERT(numSets > 0, "cache too small: ", params.name);
-        REGPU_ASSERT((numSets & (numSets - 1)) == 0,
-                     "set count must be a power of two: ", params.name);
-        for (auto &set : sets)
-            set.ways.resize(params.ways);
-    }
+    explicit CacheModel(const CacheParams &params);
+
+    /** Link to the next cache level (e.g. an L1 over the L2). At most
+     *  one of next level / DRAM may be set; unlinked caches simply
+     *  absorb their misses (standalone unit tests). */
+    void linkNextLevel(CacheModel *next);
+
+    /** Link to main memory (the bottom of the hierarchy). */
+    void linkDram(DramModel *dram);
 
     /**
-     * Access one address.
-     * @param addr byte address (the whole access is assumed to fit the
-     *             line; multi-line accesses are split by the caller)
+     * Access one line.
+     * @param addr  byte address (the whole access is assumed to fit
+     *              the line; multi-line accesses are split by
+     *              accessRange)
      * @param write true for stores
+     * @param cls   traffic class charged for downstream fills and for
+     *              this line's eventual writeback
      */
-    CacheAccessResult
-    access(Addr addr, bool write)
-    {
-        const Addr line = addr / params_.lineBytes;
-        const u64 setIdx = line & (numSets - 1);
-        const Addr tag = line >> __builtin_ctzll(numSets);
-        Set &set = sets[setIdx];
-        accesses_++;
-        stamp++;
+    CacheAccessResult access(Addr addr, bool write,
+                             TrafficClass cls = TrafficClass::Geometry);
 
-        for (Way &w : set.ways) {
-            if (w.valid && w.tag == tag) {
-                hits_++;
-                w.lastUse = stamp;
-                w.dirty |= write;
-                return {true, false};
-            }
-        }
-
-        // Miss: allocate over the LRU way.
-        misses_++;
-        Way *victim = &set.ways[0];
-        for (Way &w : set.ways) {
-            if (!w.valid) {
-                victim = &w;
-                break;
-            }
-            if (w.lastUse < victim->lastUse)
-                victim = &w;
-        }
-        bool writeback = victim->valid && victim->dirty;
-        if (writeback)
-            writebacks_++;
-        victim->valid = true;
-        victim->tag = tag;
-        victim->dirty = write;
-        victim->lastUse = stamp;
-        return {false, writeback};
-    }
-
-    /** Split an arbitrary [addr, addr+bytes) access into line accesses.
-     *  @return number of missing lines. */
-    u32
-    accessRange(Addr addr, u32 bytes, bool write, u32 *writebacks = nullptr)
+    /** Aggregate outcome of a multi-line access. */
+    struct RangeOutcome
     {
         u32 missLines = 0;
-        Addr first = addr / params_.lineBytes;
-        Addr last = (addr + (bytes ? bytes - 1 : 0)) / params_.lineBytes;
-        for (Addr line = first; line <= last; line++) {
-            CacheAccessResult r = access(line * params_.lineBytes, write);
-            if (!r.hit)
-                missLines++;
-            if (r.writeback && writebacks)
-                (*writebacks)++;
-        }
-        return missLines;
-    }
+        u32 writebacks = 0;
+        Cycles latency = 0; //!< summed per-line latency (hits included)
+    };
 
-    /** Drop all contents (frame-boundary invalidation for the Tile
-     *  Cache whose Parameter Buffer is rebuilt each frame). */
-    void
-    invalidateAll()
-    {
-        for (auto &set : sets)
-            for (auto &w : set.ways)
-                w = Way{};
-    }
+    /**
+     * Split an arbitrary [addr, addr+bytes) access into line accesses.
+     * Zero-byte ranges are no-ops: they touch no line, count no
+     * access and generate no downstream traffic.
+     */
+    RangeOutcome accessRange(Addr addr, u32 bytes, bool write,
+                             TrafficClass cls = TrafficClass::Geometry);
+
+    /**
+     * Drop all contents (frame-boundary invalidation for the Tile
+     * Cache whose Parameter Buffer is rebuilt each frame). Dirty
+     * lines are written back downstream first so their bytes are
+     * never silently dropped from the traffic accounting.
+     */
+    void invalidateAll();
 
     const CacheParams &params() const { return params_; }
     u64 accesses() const { return accesses_; }
     u64 hits() const { return hits_; }
     u64 misses() const { return misses_; }
     u64 writebacks() const { return writebacks_; }
+    u64 fills() const { return fills_; }
+
+    /** Bytes requested of this cache (sum of accessRange byte counts
+     *  plus one lineBytes per single-line access), per class. */
+    u64 demandBytes(TrafficClass c) const
+    { return demandBytes_[static_cast<u8>(c)]; }
+
+    /** Bytes this cache fetched from its next level, per class. */
+    u64 fillBytes(TrafficClass c) const
+    { return fillBytes_[static_cast<u8>(c)]; }
+
+    /** Bytes this cache wrote back to its next level, per class. */
+    u64 writebackBytes(TrafficClass c) const
+    { return writebackBytes_[static_cast<u8>(c)]; }
+
+    u64
+    totalFillBytes() const
+    {
+        return fillBytes_[0] + fillBytes_[1] + fillBytes_[2]
+            + fillBytes_[3];
+    }
+
+    u64
+    totalWritebackBytes() const
+    {
+        return writebackBytes_[0] + writebackBytes_[1]
+            + writebackBytes_[2] + writebackBytes_[3];
+    }
 
     void
     resetStats()
     {
-        accesses_ = hits_ = misses_ = writebacks_ = 0;
+        accesses_ = hits_ = misses_ = writebacks_ = fills_ = 0;
+        for (int i = 0; i < 4; i++)
+            demandBytes_[i] = fillBytes_[i] = writebackBytes_[i] = 0;
     }
 
   private:
+    /** One-line access without demand accounting (range splitting
+     *  counts the caller's exact byte demand once, at the entry
+     *  point, so conservation stays exact across differing line
+     *  sizes). */
+    CacheAccessResult accessLine(Addr addr, bool write,
+                                 TrafficClass cls);
+
+    /** Send a victim line downstream. */
+    void propagateWriteback(Addr lineAddr, TrafficClass cls);
+
+    /** Fetch a missing line from downstream; returns fill latency. */
+    Cycles propagateFill(Addr lineAddr, TrafficClass cls);
+
     struct Way
     {
         bool valid = false;
         bool dirty = false;
         Addr tag = 0;
         u64 lastUse = 0;
+        TrafficClass cls = TrafficClass::Geometry;
     };
     struct Set
     {
@@ -148,11 +168,17 @@ class CacheModel
     CacheParams params_;
     u64 numSets;
     std::vector<Set> sets;
+    CacheModel *next_ = nullptr;
+    DramModel *dram_ = nullptr;
     u64 stamp = 0;
     u64 accesses_ = 0;
     u64 hits_ = 0;
     u64 misses_ = 0;
     u64 writebacks_ = 0;
+    u64 fills_ = 0;
+    u64 demandBytes_[4] = {0, 0, 0, 0};
+    u64 fillBytes_[4] = {0, 0, 0, 0};
+    u64 writebackBytes_[4] = {0, 0, 0, 0};
 };
 
 } // namespace regpu

@@ -1,0 +1,67 @@
+#include "timing/cycle_model.hh"
+
+#include <algorithm>
+
+namespace regpu
+{
+
+Cycles
+CycleModel::geometryCycles(const FrameResult &result, u64 vertexMisses,
+                           double avgDramLatency) const
+{
+    // Pipelined stages: fetch, shade, assembly, binning.
+    const u64 verts = result.verticesShaded;
+    const u64 tris = result.trianglesAssembled;
+    u64 overlaps = 0;
+    for (const auto &list : result.binned.tileLists)
+        overlaps += list.size();
+
+    // Vertex Fetcher: 1 vertex/cycle plus exposed miss latency
+    // (prefetch-friendly stream: 1/4 of the latency exposed).
+    Cycles fetch = verts + static_cast<Cycles>(
+        vertexMisses * avgDramLatency / 4.0);
+    // Vertex Processors: instructions / processors.
+    Cycles shade = 0;
+    shade = verts * 22 / config.numVertexProcessors;
+    // Primitive Assembly: 1 triangle/cycle.
+    Cycles assembly = tris / config.trianglesPerCycle;
+    // Polygon List Builder: ~2 cycles per tile-overlap entry plus
+    // Parameter Buffer write bandwidth (16 B/cycle on-chip port).
+    Cycles binning = overlaps * 2
+        + result.binned.parameterBytes / 16;
+
+    Cycles stage = std::max({fetch, shade, assembly, binning});
+    // Pipeline fill/drain per drawcall batch: small constant.
+    return stage + 64;
+}
+
+Cycles
+CycleModel::tileCycles(const TileRenderStats &ts, u64 tileDramBytes,
+                       Cycles texelStalls) const
+{
+    // Tile Scheduler: stream the tile's primitives from the
+    // Parameter Buffer (64 B/cycle from the Tile Cache).
+    Cycles sched = ts.parameterBytesRead / 64 + ts.primitivesFetched;
+    // Rasterizer: 16 interpolated attributes per cycle; each
+    // fragment carries ~4 attributes (z + varyings), plus 2 setup
+    // cycles per primitive.
+    Cycles rasterize = ts.fragmentsGenerated * 4 / 16
+        + ts.primitivesFetched * 2;
+    // Early depth: quad-based, 4 fragments/cycle.
+    Cycles earlyZ = ts.fragmentsGenerated / 4;
+    // Fragment Processors: instructions over 4 cores + exposed
+    // texture stalls.
+    Cycles shadeC = ts.shaderInstructions
+        / config.numFragmentProcessors + texelStalls;
+    // Blend + Color Buffer write: 4 fragments/cycle.
+    Cycles blendC = ts.blendOps / 4;
+
+    Cycles compute = std::max({sched, rasterize, earlyZ, shadeC,
+                               blendC});
+    // DRAM bandwidth bound for this tile's traffic.
+    Cycles mem = tileDramBytes / config.dramBytesPerCycle;
+    // 8-cycle tile setup (clear Color/Depth buffers, bookkeeping).
+    return std::max(compute, mem) + 8;
+}
+
+} // namespace regpu

@@ -1,0 +1,69 @@
+#include "timing/dram.hh"
+
+#include <algorithm>
+
+namespace regpu
+{
+
+Cycles
+DramModel::access(Addr addr, u32 bytes, TrafficClass cls, DramDir dir)
+{
+    if (bytes == 0)
+        return 0;
+
+    const auto c = static_cast<u8>(cls);
+    switch (dir) {
+      case DramDir::Read:
+        traffic_.read[c] += bytes;
+        break;
+      case DramDir::Write:
+        traffic_.write[c] += bytes;
+        break;
+      case DramDir::Writeback:
+        traffic_.writeback[c] += bytes;
+        break;
+    }
+    accesses_++;
+
+    const Cycles transfer = (bytes + config.dramBytesPerCycle - 1)
+        / config.dramBytesPerCycle;
+    busy_ += transfer;
+
+    // Queue on the bus: requests arrive at most one per GPU cycle; a
+    // request issued while earlier transfers still occupy the bus
+    // waits its turn. The request queue holds dramQueueEntries
+    // outstanding transfers: when it is full, the *producer* stalls
+    // (arrival delayed - `now` advances) until the oldest in-flight
+    // transfer completes. busFreeAt never shrinks: accepted transfers
+    // occupy the bus whatever the requester mix.
+    now++;
+    if (inflight.empty())
+        inflight.resize(config.dramQueueEntries, 0);
+    if (inflight[inflightHead] > now)
+        now = inflight[inflightHead]; // queue full: wait for a slot
+    const Cycles start = std::max(now, busFreeAt);
+    const Cycles queueDelay = start - now;
+    busFreeAt = start + transfer;
+    inflight[inflightHead] = busFreeAt;
+    inflightHead = (inflightHead + 1) % inflight.size();
+
+    // Row-locality: same 2 KB row as the last access on this channel
+    // hits the open row.
+    const u32 channel = (addr >> 6) & 1;
+    const Addr row = addr >> 11;
+    Cycles rowLat;
+    if (openRow[channel] == row) {
+        rowLat = config.dramMinLatency;
+    } else {
+        rowLat = config.dramMaxLatency;
+        openRow[channel] = row;
+        rowMisses_++;
+    }
+
+    const Cycles lat = queueDelay + rowLat;
+    latencySum_ += lat;
+    rowLatencySum_ += rowLat;
+    return lat;
+}
+
+} // namespace regpu

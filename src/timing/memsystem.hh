@@ -4,16 +4,39 @@
  * cache, four texture caches, tile cache and L2, all backed by the
  * DRAM model. Implements the MemTraceSink interface the functional
  * pipeline drives.
+ *
+ * Structure: per-stream *front-ends* (one L1 + its traffic class +
+ * its demand counters) over a shared L2 -> DRAM *back-end*. The
+ * caches are level-linked (timing/cache.hh), so misses and dirty
+ * writebacks propagate line-by-line at their actual addresses with
+ * each level's own lineBytes; MemSystem itself only routes streams
+ * and keeps the boundary byte counters the conservation check
+ * compares:
+ *
+ *   vertex fetches   -> Vertex Cache  -> L2 -> DRAM   (Geometry)
+ *   texel fetches    -> Texture Cache -> L2 -> DRAM   (Texels)
+ *   PB reads         -> Tile Cache    ------> DRAM    (Primitives)
+ *   PB writes        ------------------> L2 -> DRAM   (Geometry)
+ *   color flushes    --------------- streaming writes (Colors)
+ *   color read-backs ------------------> L2 -> DRAM   (Colors)
+ *
+ * Color flushes bypass the caches as non-allocating streaming writes
+ * (a whole tile per flush; the write path is bandwidth-bound), which
+ * is why they charge DRAM directly. Color read-backs are demand
+ * reads and go through the L2 like every other read. Parameter
+ * Buffer writes write-allocate into the L2 without a refill fetch
+ * (the PLB write-combines full lines); their bytes reach DRAM as
+ * dirty writebacks when the lines are evicted - not as an up-front
+ * unconditional charge.
  */
 
 #ifndef REGPU_TIMING_MEMSYSTEM_HH
 #define REGPU_TIMING_MEMSYSTEM_HH
 
-#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/config.hh"
-#include "common/stats.hh"
 #include "gpu/memiface.hh"
 #include "timing/cache.hh"
 #include "timing/dram.hh"
@@ -26,153 +49,135 @@ struct MemFrameSummary
 {
     u64 vertexMisses = 0;
     u64 texelMisses = 0;
-    u64 tileCacheMisses = 0;
-    u64 l2Misses = 0;
     Cycles texelStallCycles = 0; //!< latency-weighted, MLP-adjusted
+    DramTraffic dramDelta;       //!< DRAM bytes this frame, by class/dir
 };
 
 /**
- * Memory hierarchy: per-stream L1s -> shared L2 -> DRAM.
- *
- * Color flushes stream through the L2 as non-allocating writes (a
- * whole tile per flush; the write path is bandwidth-bound). The
- * Parameter Buffer streams through the Tile Cache on reads and the L2
- * on writes, matching Fig. 4's port layout.
+ * Result of MemSystem::checkConservation(): every byte the pipeline
+ * pushed into the hierarchy must be accounted for exactly once at
+ * each level boundary - no double-charging, no drops.
+ */
+struct ConservationReport
+{
+    u64 violations = 0;
+    std::string detail; //!< human-readable description of mismatches
+
+    bool ok() const { return violations == 0; }
+};
+
+/**
+ * One per-stream L1 front-end: the cache plus the traffic class its
+ * accesses are charged under. All byte accounting lives in the
+ * CacheModel's own per-class counters - one source of truth for the
+ * conservation check.
+ */
+class StreamFrontEnd
+{
+  public:
+    StreamFrontEnd(const CacheParams &params, TrafficClass cls)
+        : cache(params), cls_(cls)
+    {}
+
+    CacheModel::RangeOutcome
+    read(Addr addr, u32 bytes)
+    {
+        return cache.accessRange(addr, bytes, false, cls_);
+    }
+
+    /** Single-line demand read (texel granularity). */
+    CacheAccessResult
+    touch(Addr addr)
+    {
+        return cache.access(addr, false, cls_);
+    }
+
+    CacheModel cache;
+
+  private:
+    TrafficClass cls_;
+};
+
+/**
+ * Memory hierarchy: per-stream L1 front-ends -> shared L2 -> DRAM.
  */
 class MemSystem : public MemTraceSink
 {
   public:
-    explicit MemSystem(const GpuConfig &config)
-        : config(config), dram_(config),
-          vertexCache(config.vertexCache), tileCache(config.tileCache),
-          l2(config.l2Cache)
-    {
-        for (u32 i = 0; i < config.numTextureCaches; i++)
-            textureCaches.emplace_back(config.textureCache);
-    }
+    explicit MemSystem(const GpuConfig &config);
 
     // ---- MemTraceSink interface ----------------------------------------
 
-    void
-    vertexFetch(Addr addr, u32 bytes) override
-    {
-        u32 misses = vertexCache.accessRange(addr, bytes, false);
-        frame.vertexMisses += misses;
-        refill(addr, misses, TrafficClass::Geometry);
-    }
-
-    void
-    parameterWrite(Addr addr, u32 bytes) override
-    {
-        // PLB write-combines into full lines through the L2.
-        u32 wb = 0;
-        u32 misses = l2.accessRange(addr, bytes, true, &wb);
-        // Dirty PB lines eventually reach DRAM; charge them now.
-        (void)misses;
-        dram_.access(addr, bytes, TrafficClass::Geometry);
-    }
-
-    void
-    parameterRead(Addr addr, u32 bytes) override
-    {
-        u32 misses = tileCache.accessRange(addr, bytes, false);
-        frame.tileCacheMisses += misses;
-        for (u32 m = 0; m < misses; m++) {
-            // Tile Cache misses go to DRAM (Parameter Buffer region).
-            dram_.access(addr + m * tileCache.params().lineBytes,
-                         tileCache.params().lineBytes,
-                         TrafficClass::Primitives);
-        }
-    }
-
-    void
-    texelFetch(u32 textureCacheIndex, Addr addr) override
-    {
-        CacheModel &tc = textureCaches[textureCacheIndex
-                                       % textureCaches.size()];
-        CacheAccessResult r = tc.access(addr, false);
-        if (!r.hit) {
-            frame.texelMisses++;
-            // L1 miss -> L2; L2 miss -> DRAM.
-            CacheAccessResult l2r = l2.access(addr, false);
-            if (!l2r.hit) {
-                frame.l2Misses++;
-                Cycles lat = dram_.access(addr, l2.params().lineBytes,
-                                          TrafficClass::Texels);
-                // Four fragment processors keep ~4 misses in flight;
-                // charge the exposed fraction of the latency.
-                frame.texelStallCycles += lat / 4;
-            } else {
-                frame.texelStallCycles += l2.params().hitLatency;
-            }
-        }
-    }
-
-    void
-    colorFlush(Addr addr, u32 bytes) override
-    {
-        dram_.access(addr, bytes, TrafficClass::Colors);
-    }
-
-    void
-    colorRead(Addr addr, u32 bytes) override
-    {
-        dram_.access(addr, bytes, TrafficClass::Colors);
-    }
+    void vertexFetch(Addr addr, u32 bytes) override;
+    void parameterWrite(Addr addr, u32 bytes) override;
+    void parameterRead(Addr addr, u32 bytes) override;
+    void texelFetch(u32 textureCacheIndex, Addr addr) override;
+    void colorFlush(Addr addr, u32 bytes) override;
+    void colorRead(Addr addr, u32 bytes) override;
 
     // ---- Frame bookkeeping ---------------------------------------------
 
     /** Snapshot and clear the per-frame summary. */
-    MemFrameSummary
-    endFrame()
-    {
-        MemFrameSummary s = frame;
-        frame = MemFrameSummary{};
-        // The Parameter Buffer is rebuilt from scratch every frame.
-        tileCache.invalidateAll();
-        return s;
-    }
+    MemFrameSummary endFrame();
+
+    /**
+     * End-of-run flush: write every resident dirty line back to DRAM
+     * (the L2 can hold up to its full capacity in not-yet-evicted
+     * Parameter Buffer bytes, which would otherwise vanish from the
+     * writeback totals a short run reports).
+     */
+    void flushResident();
+
+    /**
+     * Verify byte conservation at every level boundary: the demand
+     * each level received equals what its upstream levels forwarded,
+     * and every DRAM byte traces back to exactly one fill, writeback
+     * or stream. Violations mean a routing path charges twice or
+     * drops bytes.
+     */
+    ConservationReport checkConservation() const;
 
     DramModel &dram() { return dram_; }
     const DramModel &dram() const { return dram_; }
-    CacheModel &vertexCacheRef() { return vertexCache; }
-    CacheModel &tileCacheRef() { return tileCache; }
+    CacheModel &vertexCacheRef() { return vertex_.cache; }
+    CacheModel &tileCacheRef() { return tile_.cache; }
     CacheModel &l2Ref() { return l2; }
-    std::vector<CacheModel> &textureCachesRef() { return textureCaches; }
+    const CacheModel &l2Ref() const { return l2; }
+    u32 numTextureCaches() const
+    { return static_cast<u32>(texels_.size()); }
+    CacheModel &textureCacheRef(u32 i) { return texels_[i].cache; }
+
+    /** Total texture-cache accesses (energy model). */
+    u64
+    textureCacheAccesses() const
+    {
+        u64 n = 0;
+        for (const auto &fe : texels_)
+            n += fe.cache.accesses();
+        return n;
+    }
 
     /** Total accesses across all on-chip caches (energy model). */
     u64
     totalCacheAccesses() const
     {
-        u64 n = vertexCache.accesses() + tileCache.accesses()
-            + l2.accesses();
-        for (const auto &tc : textureCaches)
-            n += tc.accesses();
-        return n;
+        return vertex_.cache.accesses() + tile_.cache.accesses()
+            + l2.accesses() + textureCacheAccesses();
     }
 
   private:
-    /** Refill @p misses lines from DRAM via the L2. */
-    void
-    refill(Addr addr, u32 misses, TrafficClass cls)
-    {
-        for (u32 m = 0; m < misses; m++) {
-            Addr lineAddr = addr + m * 64;
-            CacheAccessResult l2r = l2.access(lineAddr, false);
-            if (!l2r.hit) {
-                frame.l2Misses++;
-                dram_.access(lineAddr, 64, cls);
-            }
-        }
-    }
-
     const GpuConfig &config;
     DramModel dram_;
-    CacheModel vertexCache;
-    std::vector<CacheModel> textureCaches;
-    CacheModel tileCache;
     CacheModel l2;
+    StreamFrontEnd vertex_;
+    std::vector<StreamFrontEnd> texels_;
+    StreamFrontEnd tile_;
+    // Direct-stream byte counters (conservation inputs).
+    u64 pbWriteBytes_ = 0;    //!< parameterWrite bytes into the L2
+    u64 colorReadBytes_ = 0;  //!< colorRead bytes into the L2
+    u64 colorFlushBytes_ = 0; //!< colorFlush bytes streamed to DRAM
     MemFrameSummary frame;
+    DramTraffic lastFrameTraffic_;
 };
 
 } // namespace regpu

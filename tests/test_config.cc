@@ -86,3 +86,92 @@ TEST(GpuConfig, EdgeTileFootprint)
     EXPECT_EQ(c.tilesX() * c.tileWidth, 1200u);
     EXPECT_GT(c.tilesX() * c.tileWidth, c.screenWidth);
 }
+
+// ---------------------------------------------------------------------------
+// validate(): cache/DRAM knob guards (death tests, PR 2 precedent)
+// ---------------------------------------------------------------------------
+
+TEST(GpuConfigDeathTest, NonPowerOfTwoSetCountIsFatal)
+{
+    GpuConfig bad;
+    // 3 sets: 384 B / (2 ways x 64 B lines).
+    bad.vertexCache.sizeBytes = 384;
+    bad.vertexCache.ways = 2;
+    bad.vertexCache.lineBytes = 64;
+    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1),
+                "set count must be a power of two");
+}
+
+TEST(GpuConfigDeathTest, ZeroLineBytesIsFatal)
+{
+    GpuConfig bad;
+    bad.l2Cache.lineBytes = 0;
+    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1),
+                "lineBytes must be >= 1");
+}
+
+TEST(GpuConfigDeathTest, ZeroWaysIsFatal)
+{
+    GpuConfig bad;
+    bad.textureCache.ways = 0;
+    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1),
+                "ways must be >= 1");
+}
+
+TEST(GpuConfigDeathTest, CacheSmallerThanOneSetIsFatal)
+{
+    GpuConfig bad;
+    bad.tileCache.sizeBytes = 64; // one 8-way set needs 512 B
+    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1),
+                "smaller than one set");
+}
+
+TEST(GpuConfigDeathTest, ZeroDramBytesPerCycleIsFatal)
+{
+    GpuConfig bad;
+    bad.dramBytesPerCycle = 0;
+    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1),
+                "dramBytesPerCycle must be >= 1");
+}
+
+TEST(GpuConfigDeathTest, ZeroDramQueueEntriesIsFatal)
+{
+    GpuConfig bad;
+    bad.dramQueueEntries = 0;
+    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1),
+                "dramQueueEntries must be >= 1");
+}
+
+TEST(GpuConfigDeathTest, ZeroTexelMlpIsFatal)
+{
+    GpuConfig bad;
+    bad.texelMissesInFlight = 0;
+    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1),
+                "texelMissesInFlight must be >= 1");
+}
+
+TEST(GpuConfigDeathTest, CacheModelConstructorGuardsGeometryToo)
+{
+    CacheParams bad;
+    bad.name = "direct";
+    bad.sizeBytes = 384; // 3 sets
+    EXPECT_EXIT((void)validateCacheGeometry(bad),
+                ::testing::ExitedWithCode(1),
+                "set count must be a power of two");
+}
+
+TEST(GpuConfig, DefaultConfigValidates)
+{
+    GpuConfig c;
+    c.validate(); // must not exit
+    EXPECT_EQ(c.texelMissesInFlight, 4u);
+    EXPECT_EQ(c.dramQueueEntries, 16u);
+}
+
+TEST(GpuConfigDeathTest, ZeroTextureCachesIsFatal)
+{
+    GpuConfig bad;
+    bad.numTextureCaches = 0;
+    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1),
+                "numTextureCaches must be >= 1");
+}

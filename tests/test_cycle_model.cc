@@ -1,13 +1,12 @@
 /**
  * @file
- * Cycle-model sanity and monotonicity tests, plus the MemSystem
- * hierarchy behaviour.
+ * Cycle-model sanity and monotonicity tests (the MemSystem hierarchy
+ * has its own suite in test_memsystem.cc).
  */
 
 #include <gtest/gtest.h>
 
 #include "timing/cycle_model.hh"
-#include "timing/memsystem.hh"
 
 using namespace regpu;
 
@@ -108,68 +107,4 @@ TEST(CycleModel, VertexMissesSlowGeometryWhenFetchBound)
     Cycles manyMisses = m.geometryCycles(fr, 20000, 80.0);
     EXPECT_EQ(fewMisses, clean);   // hidden behind shading
     EXPECT_GT(manyMisses, clean);  // fetch-bound
-}
-
-TEST(MemSystem, TexelMissesFillCachesThenHit)
-{
-    GpuConfig cfg;
-    MemSystem mem(cfg);
-    mem.texelFetch(0, 0x3'0000'0000ull);
-    mem.texelFetch(0, 0x3'0000'0000ull);
-    EXPECT_EQ(mem.textureCachesRef()[0].misses(), 1u);
-    EXPECT_EQ(mem.textureCachesRef()[0].hits(), 1u);
-    // The miss reached DRAM as texel traffic.
-    EXPECT_GT(mem.dram().traffic()[TrafficClass::Texels], 0u);
-}
-
-TEST(MemSystem, TextureCachesAreIndependent)
-{
-    GpuConfig cfg;
-    MemSystem mem(cfg);
-    mem.texelFetch(0, 0x3'0000'0000ull);
-    mem.texelFetch(1, 0x3'0000'0000ull);
-    EXPECT_EQ(mem.textureCachesRef()[0].misses(), 1u);
-    EXPECT_EQ(mem.textureCachesRef()[1].misses(), 1u);
-}
-
-TEST(MemSystem, ColorFlushCountsAsColorTraffic)
-{
-    GpuConfig cfg;
-    MemSystem mem(cfg);
-    mem.colorFlush(0x4'0000'0000ull, 1024);
-    EXPECT_EQ(mem.dram().traffic()[TrafficClass::Colors], 1024u);
-}
-
-TEST(MemSystem, ParameterReadMissesGoToDramAsPrimitives)
-{
-    GpuConfig cfg;
-    MemSystem mem(cfg);
-    mem.parameterRead(0x2'0000'0000ull, 256);
-    EXPECT_GT(mem.dram().traffic()[TrafficClass::Primitives], 0u);
-    // Second read of the same region hits the Tile Cache.
-    u64 before = mem.dram().traffic()[TrafficClass::Primitives];
-    mem.parameterRead(0x2'0000'0000ull, 256);
-    EXPECT_EQ(mem.dram().traffic()[TrafficClass::Primitives], before);
-}
-
-TEST(MemSystem, EndFrameInvalidatesTileCache)
-{
-    GpuConfig cfg;
-    MemSystem mem(cfg);
-    mem.parameterRead(0x2'0000'0000ull, 64);
-    mem.endFrame();
-    u64 before = mem.dram().traffic()[TrafficClass::Primitives];
-    mem.parameterRead(0x2'0000'0000ull, 64);
-    EXPECT_GT(mem.dram().traffic()[TrafficClass::Primitives], before);
-}
-
-TEST(MemSystem, FrameSummaryResetsEachFrame)
-{
-    GpuConfig cfg;
-    MemSystem mem(cfg);
-    mem.texelFetch(0, 0x3'0000'0000ull);
-    MemFrameSummary s1 = mem.endFrame();
-    EXPECT_EQ(s1.texelMisses, 1u);
-    MemFrameSummary s2 = mem.endFrame();
-    EXPECT_EQ(s2.texelMisses, 0u);
 }

@@ -50,8 +50,11 @@ expectIdentical(const SimResult &a, const SimResult &b)
     EXPECT_EQ(a.energy.gpuStatic, b.energy.gpuStatic);
     EXPECT_EQ(a.energy.memDynamic, b.energy.memDynamic);
     EXPECT_EQ(a.energy.memStatic, b.energy.memStatic);
-    for (int c = 0; c < 4; c++)
-        EXPECT_EQ(a.traffic.bytes[c], b.traffic.bytes[c]);
+    for (int c = 0; c < 4; c++) {
+        EXPECT_EQ(a.traffic.read[c], b.traffic.read[c]);
+        EXPECT_EQ(a.traffic.write[c], b.traffic.write[c]);
+        EXPECT_EQ(a.traffic.writeback[c], b.traffic.writeback[c]);
+    }
     EXPECT_EQ(a.tileClasses.comparedTiles, b.tileClasses.comparedTiles);
     EXPECT_EQ(a.tileClasses.equalColorsEqualInputs,
               b.tileClasses.equalColorsEqualInputs);
