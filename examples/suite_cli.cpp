@@ -7,7 +7,7 @@
  *   suite_cli [--workload ALIAS|all] [--tech base,re,te,memo]
  *             [--frames N] [--width W --height H]
  *             [--hash crc32|xor|add|fnv] [--csv FILE] [--json FILE]
- *             [--quiet] [--jobs N] [--seed N]
+ *             [--timing-json FILE] [--quiet] [--jobs N] [--seed N]
  *             [--record-dir DIR] [--replay-dir DIR]
  *             [--assert-conservation]
  *
@@ -28,18 +28,26 @@
  * --replay-dir feeds the runs from those traces instead of live scene
  * generation — results are bit-identical to the recorded live run.
  * --json appends one self-describing JSON object per run (JSON-Lines).
+ * --timing-json writes host-side wall-clock timing of the sweep as a
+ * machine-readable benchmark document (sim/bench_json.hh):
+ * sweep.wallSeconds always, plus one cell.<alias>.<tech>.wallSeconds
+ * per cell when the sweep streams on a single worker (per-cell wall
+ * times of concurrent cells would measure scheduling, not work).
+ * scripts/bench.py aggregates these into BENCH_e2e.json.
  * --assert-conservation exits fatally if any run reports a non-zero
  * mem.conservationViolations stat (a memory-hierarchy routing path
  * double-charged or dropped bytes) — the CI traffic-conservation
  * smoke.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "sim/bench_json.hh"
 #include "sim/parallel_runner.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
@@ -60,6 +68,7 @@ struct CliOptions
     HashKind hash = HashKind::Crc32;
     std::string csvPath;
     std::string jsonPath;
+    std::string timingJsonPath;
     std::string recordDir;
     std::string replayDir;
     bool quiet = false;
@@ -79,7 +88,7 @@ usage()
                  "[--tech base,re,te,memo] [--frames N]\n"
                  "                 [--width W --height H] "
                  "[--hash crc32|xor|add|fnv] [--csv FILE] "
-                 "[--json FILE] [--quiet]\n"
+                 "[--json FILE] [--timing-json FILE] [--quiet]\n"
                  "                 [--jobs N] [--seed N] "
                  "[--record-dir DIR] [--replay-dir DIR] "
                  "[--assert-conservation]\n");
@@ -126,6 +135,8 @@ parseArgs(int argc, char **argv)
             opts.csvPath = next(i);
         } else if (arg == "--json") {
             opts.jsonPath = next(i);
+        } else if (arg == "--timing-json") {
+            opts.timingJsonPath = next(i);
         } else if (arg == "--record-dir") {
             opts.recordDir = next(i);
         } else if (arg == "--replay-dir") {
@@ -208,6 +219,15 @@ main(int argc, char **argv)
     ParallelRunner runner(opts.jobs);
     const bool streaming = runner.workerCount() <= 1;
 
+    BenchJsonWriter timing;
+    auto secondsSince =
+        [](std::chrono::steady_clock::time_point t0) {
+            return std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                .count();
+        };
+    const auto sweepStart = std::chrono::steady_clock::now();
+
     std::vector<SimResult> allResults;
     if (!streaming)
         allResults = runner.run(jobs);
@@ -220,9 +240,20 @@ main(int argc, char **argv)
         for (std::size_t t = 0; t < opts.techniques.size(); t++) {
             // With a single worker, run cells one at a time so each
             // summary streams as soon as its run finishes.
-            SimResult r = streaming
-                ? std::move(runner.run({jobs[idx]}).front())
-                : std::move(allResults[idx]);
+            SimResult r;
+            if (streaming) {
+                const auto cellStart = std::chrono::steady_clock::now();
+                r = std::move(runner.run({jobs[idx]}).front());
+                if (!opts.timingJsonPath.empty())
+                    timing.add("cell." + jobs[idx].workload + "."
+                                   + techniqueName(
+                                         jobs[idx].config.technique)
+                                   + ".wallSeconds",
+                               "s", /*higherIsBetter=*/false,
+                               secondsSince(cellStart));
+            } else {
+                r = std::move(allResults[idx]);
+            }
             reportRun(r, jobs[idx]);
             results.push_back(std::move(r));
             idx++;
@@ -230,6 +261,13 @@ main(int argc, char **argv)
         reportComparison(results);
         for (SimResult &r : results)
             sweepResults.push_back(std::move(r));
+    }
+
+    if (!opts.timingJsonPath.empty()) {
+        timing.add("sweep.wallSeconds", "s", /*higherIsBetter=*/false,
+                   secondsSince(sweepStart));
+        timing.writeFile(opts.timingJsonPath);
+        std::cout << "wrote " << opts.timingJsonPath << "\n";
     }
 
     if (!opts.quiet && sweepResults.size() > 1) {

@@ -18,6 +18,10 @@
 #   scripts/check.sh             # full tier-1 verify (incl. sanitize pass)
 #   scripts/check.sh --unit      # configure + build + unit-label tests only
 #   scripts/check.sh --sanitize  # only the ASan+UBSan build + unit tests
+#   scripts/check.sh --bench     # bench-harness smoke: one S-profile pass,
+#                                # schema-validate the four BENCH_*.json,
+#                                # prove --compare fails on a synthetic
+#                                # regression (timing values are NOT gated)
 #
 set -euo pipefail
 
@@ -25,6 +29,41 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
 SANITIZE_DIR=build-sanitize
+
+run_bench_smoke() {
+    echo "== bench harness smoke (S profile, 1 repeat; timings non-gating) =="
+    local bench_dir
+    bench_dir=$(mktemp -d)
+    trap 'rm -rf "$bench_dir"' RETURN
+    python3 scripts/bench.py --profile S --repeat 1 --warmup 0 \
+        --build-dir "$BUILD_DIR" --no-build --out-dir "$bench_dir"
+    python3 scripts/bench.py --validate \
+        "$bench_dir"/BENCH_crc.json "$bench_dir"/BENCH_trace.json \
+        "$bench_dir"/BENCH_memsystem.json "$bench_dir"/BENCH_e2e.json
+
+    echo "== bench --compare regression gate smoke =="
+    # Inject a synthetic 2x slowdown; --compare must exit non-zero.
+    python3 - "$bench_dir"/BENCH_e2e.json "$bench_dir"/BENCH_e2e_bad.json \
+        <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for b in doc["benchmarks"]:
+    b["median"] *= 0.5 if b["better"] == "higher" else 2.0
+    b["samples"] = [b["median"]]
+json.dump(doc, open(sys.argv[2], "w"), indent=2)
+EOF
+    if python3 scripts/bench.py --compare "$bench_dir"/BENCH_e2e.json \
+        "$bench_dir"/BENCH_e2e_bad.json --fail-threshold 10 \
+        > /dev/null; then
+        echo "ERROR: --compare did not flag a 2x synthetic regression" >&2
+        exit 1
+    fi
+    echo "synthetic regression correctly rejected"
+    # And the identity comparison must pass.
+    python3 scripts/bench.py --compare "$bench_dir"/BENCH_e2e.json \
+        "$bench_dir"/BENCH_e2e.json > /dev/null
+    echo "identity comparison correctly accepted"
+}
 
 run_sanitize_pass() {
     echo "== sanitize configure (ASan + UBSan) =="
@@ -41,6 +80,16 @@ run_sanitize_pass() {
 
 if [[ "${1:-}" == "--sanitize" ]]; then
     run_sanitize_pass
+    echo "== OK =="
+    exit 0
+fi
+
+if [[ "${1:-}" == "--bench" ]]; then
+    echo "== configure =="
+    cmake -B "$BUILD_DIR" -S .
+    echo "== build =="
+    cmake --build "$BUILD_DIR" -j"$(nproc)"
+    run_bench_smoke
     echo "== OK =="
     exit 0
 fi

@@ -82,15 +82,25 @@ class RenderingElimination : public PipelineHooks
         // Shader kind, texture binding and blend state are part of the
         // tile's rendering inputs even though the paper keeps shader
         // *code* and texture *contents* out of the signature: binding
-        // a different texture/shader must change the signature.
-        constexpr std::size_t stateBytes = 6;
+        // a different texture/shader must change the signature. The
+        // texture id is serialized at its full 32-bit width (the +1
+        // maps the -1 "no texture" sentinel to 0, matching the
+        // rasterizer's input-signature encoding): a 16-bit truncation
+        // would alias ids differing only above bit 15 — and wrap
+        // id 0xFFFF onto the no-texture encoding — producing
+        // signature false-matches for genuinely different bindings.
+        constexpr std::size_t stateBytes = 8;
         u8 bytes[UniformSet::maxSerializedBytes + stateBytes];
         std::size_t len = draw.state.uniforms.serializeInto(
             {bytes, UniformSet::maxSerializedBytes});
+        const u32 texEncoding =
+            static_cast<u32>(draw.state.textureId + 1);
         bytes[len++] = static_cast<u8>(draw.state.shader);
         bytes[len++] = static_cast<u8>(draw.state.blendMode);
-        bytes[len++] = static_cast<u8>(draw.state.textureId + 1);
-        bytes[len++] = static_cast<u8>((draw.state.textureId + 1) >> 8);
+        bytes[len++] = static_cast<u8>(texEncoding);
+        bytes[len++] = static_cast<u8>(texEncoding >> 8);
+        bytes[len++] = static_cast<u8>(texEncoding >> 16);
+        bytes[len++] = static_cast<u8>(texEncoding >> 24);
         bytes[len++] = draw.state.depthTest ? 1 : 0;
         bytes[len++] = draw.state.depthWrite ? 1 : 0;
         REGPU_ASSERT(len <= sizeof(bytes));

@@ -1,0 +1,57 @@
+#include "sim/bench_json.hh"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "sim/report.hh"
+
+namespace regpu
+{
+
+void
+BenchJsonWriter::add(const std::string &name, const std::string &unit,
+                     bool higherIsBetter, double value)
+{
+    records.push_back({name, unit, higherIsBetter, value});
+}
+
+void
+BenchJsonWriter::writeTo(std::ostream &os) const
+{
+    std::vector<const Record *> sorted;
+    sorted.reserve(records.size());
+    for (const Record &r : records)
+        sorted.push_back(&r);
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Record *a, const Record *b) {
+                         return a->name < b->name;
+                     });
+
+    os << "{\"benchmarks\":[";
+    for (std::size_t i = 0; i < sorted.size(); i++) {
+        const Record &r = *sorted[i];
+        if (i)
+            os << ",";
+        os << "\n  {\"name\":\"" << jsonEscape(r.name) << "\","
+           << "\"unit\":\"" << jsonEscape(r.unit) << "\","
+           << "\"better\":\"" << (r.higherIsBetter ? "higher" : "lower")
+           << "\",\"value\":";
+        writeRoundTripDouble(os, r.value);
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+void
+BenchJsonWriter::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open bench json file: ", path);
+    writeTo(os);
+    if (!os)
+        fatal("write failed for bench json file: ", path);
+}
+
+} // namespace regpu

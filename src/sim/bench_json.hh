@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Machine-readable benchmark output shared by the perf frontends
+ * (micro_pipeline, micro_trace, micro_memsystem, suite_cli
+ * --timing-json).
+ *
+ * One run of one binary produces one JSON document:
+ *
+ *   {"benchmarks":[
+ *     {"name":"...","unit":"...","better":"lower|higher","value":N},
+ *     ...]}
+ *
+ * sorted by name, doubles in round-trip form (writeRoundTripDouble),
+ * strings escaped (jsonEscape). scripts/bench.py runs each binary
+ * --repeat times, collects these documents, and aggregates medians
+ * into the canonical BENCH_<area>.json artifacts — so the contract
+ * here is deliberately minimal: raw single-run values only, no
+ * aggregation, no environment metadata (the harness owns both).
+ */
+
+#ifndef REGPU_SIM_BENCH_JSON_HH
+#define REGPU_SIM_BENCH_JSON_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace regpu
+{
+
+/**
+ * Collects (name, unit, direction, value) records and serializes them
+ * as the canonical single-run benchmark document.
+ */
+class BenchJsonWriter
+{
+  public:
+    /**
+     * Record one measurement. @p higherIsBetter declares the
+     * regression direction ("frames/s" is higher-is-better, "s" and
+     * "bytes" are lower-is-better); the comparison harness refuses to
+     * guess from the unit.
+     */
+    void add(const std::string &name, const std::string &unit,
+             bool higherIsBetter, double value);
+
+    /** Serialize all records, sorted by name, to @p os. */
+    void writeTo(std::ostream &os) const;
+
+    /** Serialize to @p path; fatal() when the file cannot be opened. */
+    void writeFile(const std::string &path) const;
+
+    /** Number of records collected so far. */
+    std::size_t size() const { return records.size(); }
+
+  private:
+    struct Record
+    {
+        std::string name;
+        std::string unit;
+        bool higherIsBetter = false;
+        double value = 0;
+    };
+    std::vector<Record> records;
+};
+
+} // namespace regpu
+
+#endif // REGPU_SIM_BENCH_JSON_HH

@@ -1,5 +1,7 @@
 #include "sim/report.hh"
 
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <iomanip>
 
@@ -15,7 +17,60 @@ pct(u64 part, u64 whole)
     return whole ? 100.0 * part / whole : 0.0;
 }
 
-/** Minimal JSON string escaping (quotes, backslashes, control). */
+/**
+ * RAII guard restoring a stream's formatting state (flags, precision,
+ * fill) on scope exit, so the human-readable printers can set
+ * std::fixed/std::setprecision freely without leaking that state into
+ * the caller's later writes.
+ */
+class StreamFormatGuard
+{
+  public:
+    explicit StreamFormatGuard(std::ostream &os)
+        : os(os), flags(os.flags()), precision(os.precision()),
+          fill(os.fill())
+    {}
+    ~StreamFormatGuard()
+    {
+        os.flags(flags);
+        os.precision(precision);
+        os.fill(fill);
+    }
+    StreamFormatGuard(const StreamFormatGuard &) = delete;
+    StreamFormatGuard &operator=(const StreamFormatGuard &) = delete;
+
+  private:
+    std::ostream &os;
+    std::ios_base::fmtflags flags;
+    std::streamsize precision;
+    char fill;
+};
+
+/**
+ * RFC 4180 quoting for one CSV field: fields containing a comma,
+ * quote, CR or LF are wrapped in double quotes with embedded quotes
+ * doubled. Plain fields (every suite alias) pass through unchanged,
+ * so existing artifacts are byte-identical.
+ */
+std::string
+csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\r\n") == std::string::npos)
+        return s;
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
 std::string
 jsonEscape(const std::string &s)
 {
@@ -40,12 +95,22 @@ jsonEscape(const std::string &s)
     return out;
 }
 
-} // namespace
+std::ostream &
+writeRoundTripDouble(std::ostream &os, double v)
+{
+    if (!std::isfinite(v))
+        v = 0.0;
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    os.write(buf, res.ptr - buf);
+    return os;
+}
 
 void
 printRunSummary(std::ostream &os, const SimResult &r,
                 const GpuConfig &config)
 {
+    StreamFormatGuard guard(os);
     os << "== " << r.workload << " / " << techniqueName(r.technique)
        << " (" << r.frames << " frames, " << config.screenWidth << "x"
        << config.screenHeight << ") ==\n";
@@ -108,6 +173,7 @@ printComparison(std::ostream &os, const std::vector<SimResult> &results)
 {
     if (results.empty())
         return;
+    StreamFormatGuard guard(os);
     const SimResult &base = results.front();
     os << "comparison for '" << base.workload << "' (normalized to "
        << techniqueName(base.technique) << ")\n";
@@ -166,9 +232,10 @@ writeJsonRun(std::ostream &os, const SimResult &r,
     os << ",\"geometryCycles\":" << r.geometryCycles;
     os << ",\"rasterCycles\":" << r.rasterCycles;
     os << ",\"totalCycles\":" << r.totalCycles();
-    os << ",\"energyGpuPj\":" << r.energy.gpu();
-    os << ",\"energyMemPj\":" << r.energy.memory();
-    os << ",\"energyTotalPj\":" << r.energy.total();
+    writeRoundTripDouble(os << ",\"energyGpuPj\":", r.energy.gpu());
+    writeRoundTripDouble(os << ",\"energyMemPj\":", r.energy.memory());
+    writeRoundTripDouble(os << ",\"energyTotalPj\":",
+                         r.energy.total());
     os << ",\"dramGeometryB\":" << r.traffic[TrafficClass::Geometry];
     os << ",\"dramPrimitivesB\":" << r.traffic[TrafficClass::Primitives];
     os << ",\"dramTexelsB\":" << r.traffic[TrafficClass::Texels];
@@ -192,8 +259,8 @@ writeJsonRun(std::ostream &os, const SimResult &r,
     os << ",\"fragmentsMemoReused\":" << r.fragmentsMemoReused;
     os << ",\"signatureStallCycles\":" << r.signatureStallCycles;
     os << ",\"falsePositives\":" << r.reFalsePositives;
-    os << ",\"equalTilesConsecutivePct\":"
-       << r.equalTilesConsecutivePct;
+    writeRoundTripDouble(os << ",\"equalTilesConsecutivePct\":",
+                         r.equalTilesConsecutivePct);
     os << "}\n";
 }
 
@@ -205,10 +272,12 @@ writeCsvRow(std::ostream &os, const SimResult &r, bool header)
         for (std::size_t i = 0; i < cols.size(); i++)
             os << cols[i] << (i + 1 < cols.size() ? "," : "\n");
     }
-    os << r.workload << "," << techniqueName(r.technique) << ","
-       << r.frames << "," << r.geometryCycles << "," << r.rasterCycles
-       << "," << r.totalCycles() << "," << r.energy.gpu() << ","
-       << r.energy.memory() << "," << r.energy.total() << ","
+    os << csvEscape(r.workload) << "," << techniqueName(r.technique)
+       << "," << r.frames << "," << r.geometryCycles << ","
+       << r.rasterCycles << "," << r.totalCycles() << ",";
+    writeRoundTripDouble(os, r.energy.gpu()) << ",";
+    writeRoundTripDouble(os, r.energy.memory()) << ",";
+    writeRoundTripDouble(os, r.energy.total()) << ","
        << r.traffic[TrafficClass::Geometry] << ","
        << r.traffic[TrafficClass::Primitives] << ","
        << r.traffic[TrafficClass::Texels] << ","
@@ -223,8 +292,8 @@ writeCsvRow(std::ostream &os, const SimResult &r, bool header)
        << r.tileClasses.diffColorsDiffInputs << ","
        << r.tileClasses.diffColorsEqualInputs << ","
        << r.fragmentsShaded << "," << r.fragmentsMemoReused << ","
-       << r.signatureStallCycles << "," << r.reFalsePositives << ","
-       << r.equalTilesConsecutivePct << "\n";
+       << r.signatureStallCycles << "," << r.reFalsePositives << ",";
+    writeRoundTripDouble(os, r.equalTilesConsecutivePct) << "\n";
 }
 
 } // namespace regpu

@@ -190,6 +190,60 @@ TEST_F(ReFixture, UniformChangeInvalidatesCoveredTiles)
         EXPECT_TRUE(t.rendered); // constants differ -> signatures differ
 }
 
+TEST_F(ReFixture, TextureIdsDifferingAboveBit15ChangeSignature)
+{
+    // Regression: the constants signature used to serialize
+    // textureId + 1 truncated to 16 bits, so two draws whose ids
+    // differ only above bit 15 produced identical signature bytes —
+    // a silent false match. Flat shading keeps the rasterizer off the
+    // texture array, so the id can take arbitrary values while still
+    // being part of the signed state.
+    buildScene(false);
+    auto frameWithTex = [&](u64 f, i32 texId) {
+        FrameCommands cmds = scene->emitFrame(f);
+        for (DrawCall &d : cmds.draws) {
+            d.state.shader = ShaderKind::Flat;
+            d.state.textureId = texId;
+        }
+        return pipe->renderFrame(cmds, true);
+    };
+    frameWithTex(0, 5);
+    frameWithTex(1, 5);
+    FrameResult same = frameWithTex(2, 5); // steady state: eliminated
+    for (const TileOutcome &t : same.tiles)
+        EXPECT_FALSE(t.rendered);
+    // Frame 3 compares against frame 1 (double buffering): the id
+    // collides with 5 under the old 16-bit truncation but is a
+    // different binding, so every covered tile must render.
+    FrameResult diff = frameWithTex(3, 5 + 0x10000);
+    for (const TileOutcome &t : diff.tiles)
+        EXPECT_TRUE(t.rendered);
+}
+
+TEST_F(ReFixture, TextureId0xFFFFDoesNotAliasNoTexture)
+{
+    // The other collision of the truncated encoding: id 0xFFFF maps
+    // to 0x10000, whose low 16 bits are 0 — the "no texture bound"
+    // encoding. The two states must produce different signatures.
+    buildScene(false);
+    auto frameWithTex = [&](u64 f, i32 texId) {
+        FrameCommands cmds = scene->emitFrame(f);
+        for (DrawCall &d : cmds.draws) {
+            d.state.shader = ShaderKind::Flat;
+            d.state.textureId = texId;
+        }
+        return pipe->renderFrame(cmds, true);
+    };
+    frameWithTex(0, -1);
+    frameWithTex(1, -1);
+    FrameResult same = frameWithTex(2, -1);
+    for (const TileOutcome &t : same.tiles)
+        EXPECT_FALSE(t.rendered);
+    FrameResult diff = frameWithTex(3, 0xFFFF);
+    for (const TileOutcome &t : diff.tiles)
+        EXPECT_TRUE(t.rendered);
+}
+
 TEST_F(ReFixture, SignatureComparesCountedPerTile)
 {
     buildScene(false);

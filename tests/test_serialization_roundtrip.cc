@@ -1,0 +1,580 @@
+/**
+ * @file
+ * The persisted-artifact serialization contract:
+ *
+ *  - every double in a CSV row / JSON run round-trips exactly
+ *    (shortest-form std::to_chars), independent of whatever
+ *    std::fixed / precision state the caller's stream carries;
+ *  - the human-readable printers restore the stream state they
+ *    change;
+ *  - hostile workload names are RFC-4180-quoted in CSV and escaped
+ *    in JSON;
+ *  - writeJsonRun output for all ten suite workloads parses under a
+ *    strict JSON grammar (no trailing commas, no NaN/Infinity, no
+ *    unescaped control characters).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/bench_json.hh"
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace regpu;
+
+namespace
+{
+
+// --------------------------------------------------------------------------
+// Minimal strict JSON parser (RFC 8259 subset: objects, arrays,
+// strings, numbers, true/false/null; no extensions). parse() returns
+// false with a diagnostic instead of accepting sloppy input.
+// --------------------------------------------------------------------------
+class StrictJsonParser
+{
+  public:
+    explicit StrictJsonParser(std::string text) : s(std::move(text)) {}
+
+    bool
+    parse(std::string &error)
+    {
+        pos = 0;
+        err.clear();
+        skipWs();
+        if (!parseValue() || !err.empty()) {
+            error = err.empty() ? "parse failed" : err;
+            return false;
+        }
+        skipWs();
+        if (pos != s.size()) {
+            error = "trailing garbage at offset "
+                + std::to_string(pos);
+            return false;
+        }
+        return true;
+    }
+
+    /** Top-level object keys seen, in document order. */
+    const std::vector<std::string> &topLevelKeys() const
+    {
+        return keys;
+    }
+
+    /** Raw text of a top-level value (for numeric re-parsing). */
+    std::string
+    topLevelValueText(const std::string &key) const
+    {
+        auto it = values.find(key);
+        return it == values.end() ? std::string() : it->second;
+    }
+
+  private:
+    std::string s;
+    std::size_t pos = 0;
+    std::string err;
+    std::vector<std::string> keys;
+    std::map<std::string, std::string> values;
+    int depth = 0;
+
+    void
+    fail(const std::string &what)
+    {
+        if (err.empty())
+            err = what + " at offset " + std::to_string(pos);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size()
+               && (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n'
+                   || s[pos] == '\r'))
+            pos++;
+    }
+
+    bool
+    parseValue()
+    {
+        if (pos >= s.size())
+            return fail("unexpected end"), false;
+        switch (s[pos]) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': { std::string unused;
+                      return parseString(unused); }
+          case 't': return parseLiteral("true");
+          case 'f': return parseLiteral("false");
+          case 'n': return parseLiteral("null");
+          default: return parseNumber();
+        }
+    }
+
+    bool
+    parseLiteral(const char *lit)
+    {
+        for (const char *p = lit; *p; p++, pos++)
+            if (pos >= s.size() || s[pos] != *p)
+                return fail(std::string("bad literal '") + lit + "'"),
+                       false;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (s[pos] != '"')
+            return fail("expected string"), false;
+        pos++;
+        out.clear();
+        while (pos < s.size()) {
+            const unsigned char c =
+                static_cast<unsigned char>(s[pos]);
+            if (c == '"') {
+                pos++;
+                return true;
+            }
+            if (c < 0x20)
+                return fail("unescaped control char in string"),
+                       false;
+            if (c == '\\') {
+                pos++;
+                if (pos >= s.size())
+                    return fail("truncated escape"), false;
+                const char e = s[pos];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos + 4 >= s.size())
+                        return fail("truncated \\u escape"), false;
+                    unsigned code = 0;
+                    for (int k = 0; k < 4; k++) {
+                        const char h = s[pos + 1 + k];
+                        if (!std::isxdigit(
+                                static_cast<unsigned char>(h)))
+                            return fail("bad \\u escape"), false;
+                        code = code * 16
+                            + (std::isdigit(
+                                   static_cast<unsigned char>(h))
+                                   ? h - '0'
+                                   : (std::tolower(h) - 'a' + 10));
+                    }
+                    pos += 4;
+                    out += static_cast<char>(code & 0xFF);
+                    break;
+                  }
+                  default:
+                    return fail("bad escape"), false;
+                }
+                pos++;
+            } else {
+                out += static_cast<char>(c);
+                pos++;
+            }
+        }
+        return fail("unterminated string"), false;
+    }
+
+    bool
+    parseNumber()
+    {
+        const std::size_t start = pos;
+        if (pos < s.size() && s[pos] == '-')
+            pos++;
+        if (pos >= s.size()
+            || !std::isdigit(static_cast<unsigned char>(s[pos])))
+            return fail("bad number"), false;
+        if (s[pos] == '0') {
+            pos++;
+            // Strict: no leading zeros.
+            if (pos < s.size()
+                && std::isdigit(static_cast<unsigned char>(s[pos])))
+                return fail("leading zero"), false;
+        } else {
+            while (pos < s.size()
+                   && std::isdigit(
+                       static_cast<unsigned char>(s[pos])))
+                pos++;
+        }
+        if (pos < s.size() && s[pos] == '.') {
+            pos++;
+            if (pos >= s.size()
+                || !std::isdigit(static_cast<unsigned char>(s[pos])))
+                return fail("bad fraction"), false;
+            while (pos < s.size()
+                   && std::isdigit(
+                       static_cast<unsigned char>(s[pos])))
+                pos++;
+        }
+        if (pos < s.size() && (s[pos] == 'e' || s[pos] == 'E')) {
+            pos++;
+            if (pos < s.size() && (s[pos] == '+' || s[pos] == '-'))
+                pos++;
+            if (pos >= s.size()
+                || !std::isdigit(static_cast<unsigned char>(s[pos])))
+                return fail("bad exponent"), false;
+            while (pos < s.size()
+                   && std::isdigit(
+                       static_cast<unsigned char>(s[pos])))
+                pos++;
+        }
+        (void)start;
+        return true;
+    }
+
+    bool
+    parseObject()
+    {
+        const bool topLevel = depth == 0;
+        depth++;
+        pos++; // '{'
+        skipWs();
+        if (pos < s.size() && s[pos] == '}') {
+            pos++;
+            depth--;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos >= s.size() || s[pos] != ':')
+                return fail("expected ':'"), false;
+            pos++;
+            skipWs();
+            const std::size_t valueStart = pos;
+            if (!parseValue())
+                return false;
+            if (topLevel) {
+                keys.push_back(key);
+                values[key] = s.substr(valueStart, pos - valueStart);
+            }
+            skipWs();
+            if (pos < s.size() && s[pos] == ',') {
+                pos++;
+                continue;
+            }
+            if (pos < s.size() && s[pos] == '}') {
+                pos++;
+                depth--;
+                return true;
+            }
+            return fail("expected ',' or '}'"), false;
+        }
+    }
+
+    bool
+    parseArray()
+    {
+        depth++;
+        pos++; // '['
+        skipWs();
+        if (pos < s.size() && s[pos] == ']') {
+            pos++;
+            depth--;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!parseValue())
+                return false;
+            skipWs();
+            if (pos < s.size() && s[pos] == ',') {
+                pos++;
+                continue;
+            }
+            if (pos < s.size() && s[pos] == ']') {
+                pos++;
+                depth--;
+                return true;
+            }
+            return fail("expected ',' or ']'"), false;
+        }
+    }
+};
+
+/** Split one CSV line into fields under RFC 4180 quoting rules. */
+std::vector<std::string>
+parseCsvLine(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string cur;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); i++) {
+        const char c = line[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    cur += '"';
+                    i++;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cur += c;
+            }
+        } else if (c == '"') {
+            quoted = true;
+        } else if (c == ',') {
+            fields.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    fields.push_back(cur);
+    return fields;
+}
+
+SimResult
+smallRun(Technique tech, const std::string &alias = "ccs")
+{
+    GpuConfig config;
+    config.scaleResolution(128, 80);
+    config.technique = tech;
+    auto scene = makeBenchmark(alias, config);
+    SimOptions opts;
+    opts.frames = 2;
+    Simulator sim(*scene, config, opts);
+    return sim.run();
+}
+
+std::size_t
+columnIndex(const std::string &name)
+{
+    const auto &cols = csvColumns();
+    for (std::size_t i = 0; i < cols.size(); i++)
+        if (cols[i] == name)
+            return i;
+    ADD_FAILURE() << "no such column: " << name;
+    return 0;
+}
+
+double
+parseExactDouble(const std::string &text)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    EXPECT_EQ(end, text.c_str() + text.size())
+        << "not a full double: '" << text << "'";
+    return v;
+}
+
+} // namespace
+
+TEST(SerializationRoundTrip, DoublesSurviveHostileStreamState)
+{
+    GpuConfig config;
+    config.scaleResolution(128, 80);
+    SimResult r = smallRun(Technique::RenderingElimination);
+    // Values that need full round-trip precision: a 6-significant-
+    // digit default print would destroy all of them.
+    r.energy.gpuDynamic = 123456789.0 + 1.0 / 3.0;
+    r.energy.gpuStatic = 0.1;
+    r.energy.memDynamic = 3.141592653589793e7;
+    r.energy.memStatic = 2.5e-3;
+    r.equalTilesConsecutivePct = 100.0 / 3.0;
+
+    // One stream for everything: the summary printer used to leave
+    // std::fixed/setprecision(1) behind, which then truncated every
+    // double the CSV/JSON writers emitted.
+    std::ostringstream os;
+    printRunSummary(os, r, config);
+    os.str("");
+    writeCsvRow(os, r, false);
+    const std::string csvRow =
+        os.str().substr(0, os.str().find('\n'));
+    os.str("");
+    writeJsonRun(os, r, config, 1);
+    const std::string jsonLine = os.str();
+
+    const std::vector<std::string> fields = parseCsvLine(csvRow);
+    ASSERT_EQ(fields.size(), csvColumns().size());
+    EXPECT_EQ(parseExactDouble(fields[columnIndex("energyGpuPj")]),
+              r.energy.gpu());
+    EXPECT_EQ(parseExactDouble(fields[columnIndex("energyMemPj")]),
+              r.energy.memory());
+    EXPECT_EQ(parseExactDouble(fields[columnIndex("energyTotalPj")]),
+              r.energy.total());
+    EXPECT_EQ(parseExactDouble(
+                  fields[columnIndex("equalTilesConsecutivePct")]),
+              r.equalTilesConsecutivePct);
+
+    StrictJsonParser parser(jsonLine);
+    std::string error;
+    ASSERT_TRUE(parser.parse(error)) << error;
+    EXPECT_EQ(parseExactDouble(
+                  parser.topLevelValueText("energyGpuPj")),
+              r.energy.gpu());
+    EXPECT_EQ(parseExactDouble(
+                  parser.topLevelValueText("energyMemPj")),
+              r.energy.memory());
+    EXPECT_EQ(parseExactDouble(
+                  parser.topLevelValueText("energyTotalPj")),
+              r.energy.total());
+    EXPECT_EQ(parseExactDouble(parser.topLevelValueText(
+                  "equalTilesConsecutivePct")),
+              r.equalTilesConsecutivePct);
+}
+
+TEST(SerializationRoundTrip, PrintersRestoreStreamState)
+{
+    GpuConfig config;
+    config.scaleResolution(128, 80);
+    SimResult r = smallRun(Technique::Baseline);
+
+    std::ostringstream os;
+    os << std::scientific;
+    os.precision(11);
+    const auto flagsBefore = os.flags();
+
+    printRunSummary(os, r, config);
+    EXPECT_EQ(os.flags(), flagsBefore);
+    EXPECT_EQ(os.precision(), 11);
+
+    printComparison(os, {r, r});
+    EXPECT_EQ(os.flags(), flagsBefore);
+    EXPECT_EQ(os.precision(), 11);
+}
+
+TEST(SerializationRoundTrip, NonFiniteDoublesSerializeAsZero)
+{
+    GpuConfig config;
+    config.scaleResolution(128, 80);
+    SimResult r = smallRun(Technique::Baseline);
+    r.equalTilesConsecutivePct =
+        std::numeric_limits<double>::quiet_NaN();
+
+    std::ostringstream os;
+    writeJsonRun(os, r, config, 1);
+    StrictJsonParser parser(os.str());
+    std::string error;
+    ASSERT_TRUE(parser.parse(error)) << error; // "nan" would not parse
+    EXPECT_EQ(parser.topLevelValueText("equalTilesConsecutivePct"),
+              "0");
+}
+
+TEST(SerializationRoundTrip, HostileWorkloadNameIsCsvQuoted)
+{
+    SimResult r = smallRun(Technique::Baseline);
+    r.workload = "evil,\"alias\"\nsecond line";
+
+    std::ostringstream os;
+    writeCsvRow(os, r, true);
+    const std::string text = os.str();
+    const std::string header = text.substr(0, text.find('\n'));
+    const std::string row = text.substr(text.find('\n') + 1,
+                                        text.rfind('\n')
+                                            - text.find('\n') - 1);
+
+    const std::vector<std::string> fields = parseCsvLine(row);
+    ASSERT_EQ(fields.size(), csvColumns().size())
+        << "hostile name split the row";
+    EXPECT_EQ(fields[0], r.workload);
+    EXPECT_EQ(fields[1], "Baseline");
+
+    // The quoted field must not add top-level commas: the unquoted
+    // comma count of the row equals the header's.
+    std::size_t topLevelCommas = 0;
+    bool quoted = false;
+    for (char c : row) {
+        if (c == '"')
+            quoted = !quoted;
+        else if (c == ',' && !quoted)
+            topLevelCommas++;
+    }
+    std::size_t headerCommas = 0;
+    for (char c : header)
+        headerCommas += c == ',';
+    EXPECT_EQ(topLevelCommas, headerCommas);
+}
+
+TEST(SerializationRoundTrip, HostileWorkloadNameSurvivesJson)
+{
+    GpuConfig config;
+    config.scaleResolution(128, 80);
+    SimResult r = smallRun(Technique::Baseline);
+    r.workload = "evil,\"alias\"\nsecond\tline\x01";
+
+    std::ostringstream os;
+    writeJsonRun(os, r, config, 1);
+    StrictJsonParser parser(os.str());
+    std::string error;
+    ASSERT_TRUE(parser.parse(error)) << error;
+    EXPECT_EQ(parser.topLevelValueText("workload"),
+              "\"evil,\\\"alias\\\"\\nsecond\\tline\\u0001\"");
+}
+
+TEST(SerializationRoundTrip, AllWorkloadsEmitStrictJson)
+{
+    for (const auto &info : benchmarkSuite()) {
+        GpuConfig config;
+        config.scaleResolution(128, 80);
+        config.technique = Technique::RenderingElimination;
+        SimResult r =
+            smallRun(Technique::RenderingElimination, info.alias);
+
+        std::ostringstream os;
+        // Poison the stream the way a preceding summary print would.
+        printRunSummary(os, r, config);
+        os.str("");
+        writeJsonRun(os, r, config, 7);
+
+        StrictJsonParser parser(os.str());
+        std::string error;
+        ASSERT_TRUE(parser.parse(error))
+            << info.alias << ": " << error;
+        // Key set matches the documented schema: identity + every
+        // CSV metric that is not CSV-positional.
+        const auto &keys = parser.topLevelKeys();
+        EXPECT_EQ(keys.front(), "workload") << info.alias;
+        for (const char *key :
+             {"technique", "seed", "frames", "totalCycles",
+              "energyTotalPj", "dramReadB", "dramWritebackB",
+              "tilesSkipped", "fragmentsShaded",
+              "equalTilesConsecutivePct"})
+            EXPECT_NE(std::find(keys.begin(), keys.end(), key),
+                      keys.end())
+                << info.alias << " missing " << key;
+    }
+}
+
+TEST(SerializationRoundTrip, BenchJsonWriterEmitsStrictSortedJson)
+{
+    BenchJsonWriter bench;
+    bench.add("z.last", "s", false, 0.1);
+    bench.add("a.first", "frames/s", true, 100.0 / 3.0);
+    bench.add("m.mid \"quoted\"", "bytes", false, 1e-12);
+
+    std::ostringstream os;
+    os << std::fixed;
+    os.precision(1); // must not affect the output
+    bench.writeTo(os);
+    const std::string text = os.str();
+
+    StrictJsonParser parser(text);
+    std::string error;
+    ASSERT_TRUE(parser.parse(error)) << error;
+    // Sorted by name.
+    EXPECT_LT(text.find("a.first"), text.find("m.mid"));
+    EXPECT_LT(text.find("m.mid"), text.find("z.last"));
+    // Round-trip value, not 33.3.
+    EXPECT_NE(text.find("33.333333333333336"), std::string::npos);
+}
