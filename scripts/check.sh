@@ -2,26 +2,42 @@
 #
 # Tier-1 verification — the CI entry point.
 #
-# Configures, builds (-Wall -Wextra, warnings are the build's problem
-# to stay clean of), runs every registered ctest suite, and finishes
-# with two smokes: a suite_cli determinism pass (a parallel sweep must
-# emit a CSV bit-identical to the sequential one) and a trace
-# record->verify->replay pass (replaying a recorded trace must emit a
-# CSV bit-identical to the live run, and trace_cli verify must hold).
+# Configures, builds (-Wall -Wextra -Wshadow -Wnon-virtual-dtor,
+# warnings are the build's problem to stay clean of), runs every
+# registered ctest suite, and finishes with two smokes: a suite_cli
+# determinism pass (a parallel sweep must emit a CSV bit-identical to
+# the sequential one) and a trace record->verify->replay pass
+# (replaying a recorded trace must emit a CSV bit-identical to the
+# live run, and trace_cli verify must hold).
 #
-# A second configuration builds the library and tests with
-# ASan + UBSan (-DREGPU_SANITIZE=ON) and re-runs the unit suites, so
-# the MemoLut-style UB class (zero-division in set-index math, OOB
-# reads) is caught mechanically, not by review.
+# Static & concurrency analysis gates:
+#  - scripts/lint.py (repo-invariant linter, stdlib-only) and its
+#    --self-test run UNCONDITIONALLY in every pass — they need no
+#    toolchain and catch the PR 2/4/6 bug classes (truncating
+#    serializers, leaked stream format state, hot-path allocations,
+#    unescaped CSV) mechanically.
+#  - clang-tidy (--tidy) is a ZERO-warning gate over src/, bench/,
+#    examples/ and tests/ using the committed .clang-tidy (plus the
+#    narrowing-conversion overlays on the serialization paths). When
+#    clang-tidy is not installed it SKIPS with a loud warning instead
+#    of failing, so bare containers still get the rest of tier-1.
+#  - ASan+UBSan (-DREGPU_SANITIZE=address) re-runs the unit suites;
+#    TSan (-DREGPU_SANITIZE=thread) runs the ParallelRunner
+#    determinism + contention-stress suites, proving the threading
+#    code race-free before intra-frame tile parallelism lands.
 #
 # Usage:
-#   scripts/check.sh             # full tier-1 verify (incl. sanitize pass)
-#   scripts/check.sh --unit      # configure + build + unit-label tests only
-#   scripts/check.sh --sanitize  # only the ASan+UBSan build + unit tests
-#   scripts/check.sh --bench     # bench-harness smoke: one S-profile pass,
-#                                # schema-validate the four BENCH_*.json,
+#   scripts/check.sh             # full tier-1 (lint, build, ctest,
+#                                # smokes, sanitize + tsan passes)
+#   scripts/check.sh --unit      # configure + build + unit tests only
+#   scripts/check.sh --lint      # repo-invariant linter only
+#   scripts/check.sh --tidy      # clang-tidy zero-warning gate only
+#   scripts/check.sh --tsan      # TSan build + parallel suites only
+#   scripts/check.sh --sanitize  # ASan+UBSan build + unit tests only
+#   scripts/check.sh --bench     # bench-harness smoke: one S-profile
+#                                # pass, schema-validate BENCH_*.json,
 #                                # prove --compare fails on a synthetic
-#                                # regression (timing values are NOT gated)
+#                                # regression (timings NOT gated)
 #
 set -euo pipefail
 
@@ -29,6 +45,87 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
 SANITIZE_DIR=build-sanitize
+TSAN_DIR=build-tsan
+
+run_lint_pass() {
+    echo "== lint.py self-test + repo-invariant lint =="
+    python3 scripts/lint.py --self-test
+    python3 scripts/lint.py
+}
+
+run_tidy_pass() {
+    echo "== clang-tidy zero-warning gate =="
+    local tidy=""
+    for cand in clang-tidy clang-tidy-21 clang-tidy-20 clang-tidy-19 \
+                clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                clang-tidy-15; do
+        if command -v "$cand" > /dev/null 2>&1; then
+            tidy=$cand
+            break
+        fi
+    done
+    if [[ -z "$tidy" ]]; then
+        echo "#########################################################" >&2
+        echo "## WARNING: clang-tidy is NOT installed — SKIPPING the ##" >&2
+        echo "## zero-warning tidy gate. Install clang-tidy to run   ##" >&2
+        echo "## the full static-analysis tier.                      ##" >&2
+        echo "#########################################################" >&2
+        return 0
+    fi
+
+    # The gate runs over every TU the build actually compiles (the
+    # compilation database is exported unconditionally), filtered to
+    # repo sources so fetched third-party TUs are never linted.
+    cmake -B "$BUILD_DIR" -S . > /dev/null
+    local tu_list
+    tu_list=$(python3 - "$PWD" "$BUILD_DIR/compile_commands.json" <<'EOF'
+import json, os, sys
+root, db = sys.argv[1], sys.argv[2]
+dirs = tuple(os.path.join(root, d) + os.sep
+             for d in ("src", "bench", "examples", "tests"))
+files = sorted({e["file"] for e in json.load(open(db))})
+print("\n".join(f for f in files if f.startswith(dirs)))
+EOF
+)
+    if [[ -z "$tu_list" ]]; then
+        echo "ERROR: no repo TUs found in compile_commands.json" >&2
+        exit 1
+    fi
+    # .clang-tidy sets WarningsAsErrors: '*', so any diagnostic makes
+    # clang-tidy (and thus xargs) exit non-zero.
+    echo "$tu_list" | xargs -P "$(nproc)" -n 4 \
+        "$tidy" -p "$BUILD_DIR" --quiet
+    echo "clang-tidy: zero warnings over $(echo "$tu_list" | wc -l) TUs"
+}
+
+run_tsan_pass() {
+    echo "== TSan configure (-DREGPU_SANITIZE=thread) =="
+    cmake -B "$TSAN_DIR" -S . -DREGPU_SANITIZE=thread \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DREGPU_BUILD_BENCHES=OFF -DREGPU_BUILD_EXAMPLES=OFF
+
+    echo "== TSan build (parallel runner + stress suites) =="
+    cmake --build "$TSAN_DIR" -j"$(nproc)" \
+        --target test_parallel_runner test_parallel_stress
+
+    echo "== TSan ctest (determinism + contention stress) =="
+    (cd "$TSAN_DIR" \
+         && ctest --output-on-failure \
+                  -R '^(test_parallel_runner|test_parallel_stress)$')
+}
+
+run_sanitize_pass() {
+    echo "== sanitize configure (ASan + UBSan) =="
+    cmake -B "$SANITIZE_DIR" -S . -DREGPU_SANITIZE=address \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DREGPU_BUILD_BENCHES=OFF -DREGPU_BUILD_EXAMPLES=OFF
+
+    echo "== sanitize build =="
+    cmake --build "$SANITIZE_DIR" -j"$(nproc)"
+
+    echo "== sanitize ctest (unit) =="
+    (cd "$SANITIZE_DIR" && ctest --output-on-failure -j"$(nproc)" -L unit)
+}
 
 run_bench_smoke() {
     echo "== bench harness smoke (S profile, 1 repeat; timings non-gating) =="
@@ -65,26 +162,29 @@ EOF
     echo "identity comparison correctly accepted"
 }
 
-run_sanitize_pass() {
-    echo "== sanitize configure (ASan + UBSan) =="
-    cmake -B "$SANITIZE_DIR" -S . -DREGPU_SANITIZE=ON \
-        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-        -DREGPU_BUILD_BENCHES=OFF -DREGPU_BUILD_EXAMPLES=OFF
-
-    echo "== sanitize build =="
-    cmake --build "$SANITIZE_DIR" -j"$(nproc)"
-
-    echo "== sanitize ctest (unit) =="
-    (cd "$SANITIZE_DIR" && ctest --output-on-failure -j"$(nproc)" -L unit)
-}
-
-if [[ "${1:-}" == "--sanitize" ]]; then
+case "${1:-}" in
+  --lint)
+    run_lint_pass
+    echo "== OK =="
+    exit 0
+    ;;
+  --tidy)
+    run_tidy_pass
+    echo "== OK =="
+    exit 0
+    ;;
+  --tsan)
+    run_tsan_pass
+    echo "== OK =="
+    exit 0
+    ;;
+  --sanitize)
     run_sanitize_pass
     echo "== OK =="
     exit 0
-fi
-
-if [[ "${1:-}" == "--bench" ]]; then
+    ;;
+  --bench)
+    run_lint_pass
     echo "== configure =="
     cmake -B "$BUILD_DIR" -S .
     echo "== build =="
@@ -92,12 +192,16 @@ if [[ "${1:-}" == "--bench" ]]; then
     run_bench_smoke
     echo "== OK =="
     exit 0
-fi
+    ;;
+esac
 
 LABEL_ARGS=()
 if [[ "${1:-}" == "--unit" ]]; then
     LABEL_ARGS=(-L unit)
 fi
+
+# The linter needs no toolchain: it gates every pass, before the build.
+run_lint_pass
 
 echo "== configure =="
 cmake -B "$BUILD_DIR" -S .
@@ -139,7 +243,9 @@ if [[ "${1:-}" != "--unit" ]]; then
     echo "== micro_memsystem hierarchy-walk smoke =="
     "$BUILD_DIR"/micro_memsystem --accesses 200000 --mix-frames 4
 
+    run_tidy_pass
     run_sanitize_pass
+    run_tsan_pass
 fi
 
 echo "== OK =="

@@ -1,0 +1,597 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter: mechanical enforcement of regpu-specific rules.
+
+Every rule here encodes a bug class that was found and fixed by hand in
+an earlier PR; the linter keeps it from coming back. It is stdlib-only
+and runs in a bare container (no compiler, no clang-tidy), so it is
+part of the *unconditional* tier-1 gate in scripts/check.sh.
+
+Rules (ids are stable; see --list-rules):
+
+  narrow-cast-serialize  PR 6 found the RE constants signature
+                         truncating a 32-bit texture id through
+                         static_cast<u16>, silently aliasing ids above
+                         bit 15. Serializer/signature files must not
+                         narrow through u16 casts.
+  stream-guard           PR 6 found printRunSummary leaking
+                         std::fixed/setprecision(1) into the CSV
+                         writer, truncating every energy column. Any
+                         file setting stream float formatting must use
+                         StreamFormatGuard (sim/report.hh).
+  crc-alloc-free         PR 2 rebuilt src/crc as allocation-free
+                         streaming (pinned by tests/test_alloc_free.cc
+                         with a counting operator new). The CRC layer
+                         must not even mention std::vector/std::string;
+                         hot-path serializers use std::span and fixed
+                         stack buffers.
+  naked-new              Ownership is std::unique_ptr/containers
+                         everywhere; raw new/malloc outside the
+                         counting-allocator test would dodge both RAII
+                         and the allocation accounting.
+  fatal-message          fatal() is a user-facing diagnostic; an empty
+                         message gives the user nothing to act on.
+  csv-escape             PR 6 found writeCsvRow emitting the workload
+                         name unescaped (RFC 4180 breakage on commas/
+                         quotes). CSV-shaped streaming of workload
+                         names must route through csvEscape().
+
+Suppression syntax (each use needs a non-empty reason):
+
+  code();  // lint:allow(rule-id): reason         same line
+  // lint:allow(rule-id): reason                  line above
+  // lint:allow-file(rule-id): reason             whole file, first 40
+                                                  lines only
+
+Unused suppressions are themselves violations, so stale allows cannot
+accumulate. To add a rule: append a Rule to RULES with a findings
+function over FileText, and a fixture pair (violating snippet, clean
+snippet) in FIXTURES proving it fires — --self-test runs every rule
+against its fixtures and the suppression machinery.
+"""
+
+import argparse
+import dataclasses
+import os
+import re
+import sys
+from typing import Callable, List, Optional, Tuple
+
+ALLOW_RE = re.compile(r"lint:allow\(([\w-]+)\)\s*(?::\s*(\S.*))?")
+ALLOW_FILE_RE = re.compile(r"lint:allow-file\(([\w-]+)\)\s*(?::\s*(\S.*))?")
+ALLOW_FILE_WINDOW = 40  # file-level allows must sit near the top
+
+CXX_EXTENSIONS = (".cc", ".cpp", ".hh", ".h")
+SCAN_DIRS = ("src", "bench", "examples", "tests")
+
+
+@dataclasses.dataclass
+class FileText:
+    """One scanned file in two views, line numbers preserved.
+
+    `code` has comments and string/char literal *contents* blanked out
+    (quotes kept), so rules never fire on prose or literal text.
+    `raw` is the original, for rules that must see literals (and for
+    reading the suppression comments themselves).
+    """
+
+    path: str          # repo-relative, forward slashes
+    raw: str
+    code: str
+    raw_lines: List[str] = dataclasses.field(init=False)
+    code_lines: List[str] = dataclasses.field(init=False)
+
+    def __post_init__(self):
+        self.raw_lines = self.raw.splitlines()
+        self.code_lines = self.code.splitlines()
+
+
+@dataclasses.dataclass
+class Violation:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclasses.dataclass
+class Rule:
+    rule_id: str
+    summary: str
+    applies: Callable[[str], bool]              # path predicate
+    findings: Callable[[FileText], List[Tuple[int, str]]]
+
+
+def strip_code(text: str) -> str:
+    """Blank comments and literal contents, preserving layout.
+
+    Small state machine over //, /* */, "..." and '...' with escape
+    handling. Replaced characters become spaces (newlines survive), so
+    offsets and line numbers in the stripped view match the original.
+    """
+    out = list(text)
+    i, n = 0, len(text)
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR = range(5)
+    state = NORMAL
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE_COMMENT
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = BLOCK_COMMENT
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == '"':
+                state = STRING
+            elif c == "'":
+                state = CHAR
+        elif state == LINE_COMMENT:
+            if c == "\n":
+                state = NORMAL
+            else:
+                out[i] = " "
+        elif state == BLOCK_COMMENT:
+            if c == "*" and nxt == "/":
+                state = NORMAL
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c != "\n":
+                out[i] = " "
+        elif state in (STRING, CHAR):
+            quote = '"' if state == STRING else "'"
+            if c == "\\" and nxt:
+                out[i] = " "
+                if nxt != "\n":
+                    out[i + 1] = " "
+                i += 2
+                continue
+            if c == quote:
+                state = NORMAL
+            elif c != "\n":
+                out[i] = " "
+        i += 1
+    return "".join(out)
+
+
+def regex_findings(pattern: str, message: str,
+                   view: str = "code") -> Callable[[FileText],
+                                                   List[Tuple[int, str]]]:
+    """Findings function flagging every match of @p pattern."""
+    compiled = re.compile(pattern)
+
+    def find(ft: FileText) -> List[Tuple[int, str]]:
+        text = ft.code if view == "code" else ft.raw
+        hits = []
+        for m in compiled.finditer(text):
+            line = text.count("\n", 0, m.start()) + 1
+            hits.append((line, message))
+        return hits
+
+    return find
+
+
+# --- Rule implementations ---------------------------------------------------
+
+def path_matches(*patterns: str) -> Callable[[str], bool]:
+    compiled = [re.compile(p) for p in patterns]
+    return lambda path: any(c.search(path) for c in compiled)
+
+
+def find_stream_format(ft: FileText) -> List[Tuple[int, str]]:
+    """std::fixed/setprecision/scientific without a StreamFormatGuard."""
+    if re.search(r"\bStreamFormatGuard\b", ft.code):
+        return []
+    hits = []
+    pat = re.compile(
+        r"std::(fixed|setprecision|scientific|hexfloat)\b")
+    for m in pat.finditer(ft.code):
+        line = ft.code.count("\n", 0, m.start()) + 1
+        hits.append((line, f"std::{m.group(1)} without a "
+                           "StreamFormatGuard in this file; leaked "
+                           "format state corrupts later CSV/JSON "
+                           "writes (use sim/report.hh)"))
+    return hits
+
+
+def find_fatal_empty(ft: FileText) -> List[Tuple[int, str]]:
+    """fatal() with no arguments or a leading empty string literal.
+
+    Works on the code view for call shape (comments can't fake a
+    call), but checks the raw view for the literal's emptiness since
+    literal contents are blanked in the code view.
+    """
+    hits = []
+    for m in re.finditer(r"\bfatal\s*\(", ft.code):
+        rest = ft.code[m.end():m.end() + 200]
+        line = ft.code.count("\n", 0, m.start()) + 1
+        if re.match(r"\s*\)", rest):
+            hits.append((line, "fatal() without a message gives the "
+                               "user nothing to act on"))
+            continue
+        stripped = re.match(r"\s*\"", rest)
+        if stripped:
+            # First argument is a string literal: demand it non-empty
+            # in the raw text ("" only passes when more args follow a
+            # non-literal first... keep it strict: leading "" is dead
+            # weight either way).
+            raw_rest = ft.raw[m.end():m.end() + 200]
+            if re.match(r"\s*\"\"", raw_rest):
+                hits.append((line, "fatal(\"\"...) starts with an "
+                                   "empty message literal"))
+    return hits
+
+
+def find_csv_unescaped(ft: FileText) -> List[Tuple[int, str]]:
+    """Workload names streamed into a CSV row without csvEscape().
+
+    A line is CSV-shaped when it also streams a "," separator literal
+    (checked in the raw view — literals are blanked in the code view).
+    """
+    hits = []
+    for idx, code_line in enumerate(ft.code_lines):
+        if not re.search(r"<<\s*[\w.\[\]>-]*\bworkload\b", code_line):
+            continue
+        raw_line = ft.raw_lines[idx] if idx < len(ft.raw_lines) else ""
+        if '","' not in raw_line and "','" not in raw_line:
+            continue
+        if "csvEscape" in code_line:
+            continue
+        hits.append((idx + 1, "workload name streamed into a CSV row "
+                              "without csvEscape() (RFC 4180: commas/"
+                              "quotes in the name corrupt the row)"))
+    return hits
+
+
+RULES: List[Rule] = [
+    Rule(
+        "narrow-cast-serialize",
+        "no u16-narrowing casts in serializer/signature code",
+        path_matches(r"^src/(re|crc)/", r"^src/trace/trace_format",
+                     r"^src/gpu/shader\.", r"serialize"),
+        regex_findings(
+            r"(static_cast<\s*(u16|(std::)?uint16_t|unsigned short)\s*>"
+            r"|\(\s*u16\s*\)\s*[A-Za-z_(])",
+            "u16-narrowing cast in serializer/signature code: ids/"
+            "lengths above bit 15 would silently alias (PR 6 bug "
+            "class); serialize full-width little-endian instead"),
+    ),
+    Rule(
+        "stream-guard",
+        "std::fixed/std::setprecision require a StreamFormatGuard",
+        lambda path: True,
+        find_stream_format,
+    ),
+    Rule(
+        "crc-alloc-free",
+        "src/crc/ stays free of std::vector/std::string",
+        path_matches(r"^src/crc/"),
+        regex_findings(
+            r"std::(vector|string)\b",
+            "std::vector/std::string in the allocation-free CRC layer "
+            "(pinned by tests/test_alloc_free.cc); use std::span and "
+            "fixed stack buffers"),
+    ),
+    Rule(
+        "naked-new",
+        "no naked new/malloc outside the counting-allocator test",
+        lambda path: path != "tests/test_alloc_free.cc",
+        regex_findings(
+            r"((?<![\w.])\bnew\b\s*[A-Za-z_:<(]"
+            r"|\b(malloc|calloc|realloc)\s*\()",
+            "naked allocation: ownership here is std::unique_ptr/"
+            "containers, and raw allocations dodge "
+            "tests/test_alloc_free.cc's counting allocator"),
+    ),
+    Rule(
+        "fatal-message",
+        "every fatal() carries a non-empty message",
+        lambda path: True,
+        find_fatal_empty,
+    ),
+    Rule(
+        "csv-escape",
+        "CSV-row streaming of workload names routes through csvEscape",
+        lambda path: True,
+        find_csv_unescaped,
+    ),
+]
+
+
+# --- Suppression handling ---------------------------------------------------
+
+class Suppressions:
+    """lint:allow / lint:allow-file markers of one file.
+
+    A line marker covers its own line and the first code line below
+    its comment block, so a multi-line justification comment above the
+    finding works naturally.
+    """
+
+    def __init__(self, ft: FileText):
+        self.ft = ft
+        self.errors: List[Violation] = []
+        self.line_allows = {}   # (line, rule) -> [used]
+        self.file_allows = {}   # rule -> [line, used]
+        for idx, raw_line in enumerate(ft.raw_lines):
+            line = idx + 1
+            m = ALLOW_FILE_RE.search(raw_line)
+            if m:
+                rule, reason = m.group(1), m.group(2)
+                if not reason:
+                    self.errors.append(Violation(
+                        ft.path, line, "lint-suppression",
+                        f"lint:allow-file({rule}) needs a reason "
+                        "(\"lint:allow-file(rule): why\")"))
+                elif line > ALLOW_FILE_WINDOW:
+                    self.errors.append(Violation(
+                        ft.path, line, "lint-suppression",
+                        f"lint:allow-file({rule}) must appear in the "
+                        f"first {ALLOW_FILE_WINDOW} lines"))
+                else:
+                    self.file_allows[rule] = [line, False]
+                continue
+            m = ALLOW_RE.search(raw_line)
+            if m:
+                rule, reason = m.group(1), m.group(2)
+                if not reason:
+                    self.errors.append(Violation(
+                        ft.path, line, "lint-suppression",
+                        f"lint:allow({rule}) needs a reason "
+                        "(\"lint:allow(rule): why\")"))
+                else:
+                    self.line_allows[(line, rule)] = [False]
+
+    def _comment_only(self, line: int) -> bool:
+        idx = line - 1
+        if idx < 0 or idx >= len(self.ft.code_lines):
+            return False
+        return (self.ft.code_lines[idx].strip() == ""
+                and self.ft.raw_lines[idx].strip() != "")
+
+    def allows(self, line: int, rule: str) -> bool:
+        candidates = [line]
+        above = line - 1
+        while self._comment_only(above):
+            candidates.append(above)
+            above -= 1
+        for cand in candidates:
+            key = (cand, rule)
+            if key in self.line_allows:
+                self.line_allows[key][0] = True
+                return True
+        if rule in self.file_allows:
+            self.file_allows[rule][1] = True
+            return True
+        return False
+
+    def unused(self, path: str) -> List[Violation]:
+        out = []
+        for (line, rule), [used] in sorted(self.line_allows.items()):
+            if not used:
+                out.append(Violation(
+                    path, line, "lint-suppression",
+                    f"unused lint:allow({rule}) — the rule no longer "
+                    "fires here; delete the stale suppression"))
+        for rule, (line, used) in sorted(self.file_allows.items()):
+            if not used:
+                out.append(Violation(
+                    path, line, "lint-suppression",
+                    f"unused lint:allow-file({rule}) — delete the "
+                    "stale suppression"))
+        return out
+
+
+# --- Scanning ---------------------------------------------------------------
+
+def lint_file(ft: FileText) -> List[Violation]:
+    sup = Suppressions(ft)
+    violations = list(sup.errors)
+    for rule in RULES:
+        if not rule.applies(ft.path):
+            continue
+        for line, message in rule.findings(ft):
+            if sup.allows(line, rule.rule_id):
+                continue
+            violations.append(Violation(ft.path, line, rule.rule_id,
+                                        message))
+    violations.extend(sup.unused(ft.path))
+    return violations
+
+
+def collect_files(root: str) -> List[str]:
+    paths = []
+    for top in SCAN_DIRS:
+        top_dir = os.path.join(root, top)
+        for dirpath, _dirnames, filenames in os.walk(top_dir):
+            for name in sorted(filenames):
+                if name.endswith(CXX_EXTENSIONS):
+                    paths.append(os.path.join(dirpath, name))
+    return sorted(paths)
+
+
+def lint_tree(root: str) -> List[Violation]:
+    violations = []
+    for path in collect_files(root):
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        violations.extend(
+            lint_file(FileText(rel, raw, strip_code(raw))))
+    return violations
+
+
+# --- Self test --------------------------------------------------------------
+
+# Per rule: (path the fixture pretends to live at,
+#            snippet that MUST fire, snippet that MUST stay clean).
+FIXTURES = {
+    "narrow-cast-serialize": (
+        "src/re/rendering_elimination.hh",
+        "stream.putU32(static_cast<u16>(draw.state.textureId + 1));\n",
+        "stream.putU32(static_cast<u32>(draw.state.textureId) + 1);\n",
+    ),
+    "stream-guard": (
+        "src/sim/report.cc",
+        "os << std::fixed << std::setprecision(1) << fps;\n",
+        "StreamFormatGuard guard(os);\n"
+        "os << std::fixed << std::setprecision(1) << fps;\n",
+    ),
+    "crc-alloc-free": (
+        "src/crc/crc32.cc",
+        "u32 crc32Tabular(const std::vector<u8> &bytes);\n",
+        "u32 crc32Tabular(std::span<const u8> bytes);\n",
+    ),
+    "naked-new": (
+        "src/sim/simulator.cc",
+        "auto *scene = new Scene(\"x\", config);\n",
+        "auto scene = std::make_unique<Scene>(\"x\", config);\n",
+    ),
+    "fatal-message": (
+        "src/common/config.cc",
+        "if (ways == 0)\n    fatal(\"\");\n",
+        "if (ways == 0)\n    fatal(\"MemoLut: ways must be > 0\");\n",
+    ),
+    "csv-escape": (
+        "src/sim/report.cc",
+        "os << r.workload << \",\" << r.frames;\n",
+        "os << csvEscape(r.workload) << \",\" << r.frames;\n",
+    ),
+}
+
+
+def run_fixture(path: str, snippet: str) -> List[Violation]:
+    return lint_file(FileText(path, snippet, strip_code(snippet)))
+
+
+def self_test() -> int:
+    failures = []
+
+    def check(cond: bool, what: str):
+        (failures.append(what) if not cond else None)
+
+    for rule in RULES:
+        check(rule.rule_id in FIXTURES,
+              f"{rule.rule_id}: missing fixture")
+    for rule_id, (path, bad, good) in FIXTURES.items():
+        bad_hits = [v for v in run_fixture(path, bad)
+                    if v.rule == rule_id]
+        check(len(bad_hits) >= 1,
+              f"{rule_id}: violating fixture did not fire")
+        good_hits = [v for v in run_fixture(path, good)
+                     if v.rule == rule_id]
+        check(not good_hits,
+              f"{rule_id}: clean fixture fired: {good_hits}")
+
+    # Comment/string stripping: prose and literals never fire rules.
+    quiet = ("// makes a new Scene every frame\n"
+             "/* std::vector<u8> new malloc( */\n"
+             "log(\"std::fixed new Foo malloc(\");\n")
+    check(not run_fixture("src/gpu/raster.cc", quiet),
+          f"comments/literals fired: {run_fixture('src/gpu/raster.cc', quiet)}")
+
+    # Same-line and previous-line suppression, with reasons.
+    path, bad, _good = FIXTURES["naked-new"]
+    inline = bad.rstrip("\n") + "  // lint:allow(naked-new): perf test\n"
+    check(not run_fixture(path, inline), "same-line allow ignored")
+    above = "// lint:allow(naked-new): perf test\n" + bad
+    check(not run_fixture(path, above), "previous-line allow ignored")
+    block = ("// lint:allow(naked-new): a justification long enough\n"
+             "// to span several comment lines above the finding\n"
+             + bad)
+    check(not run_fixture(path, block),
+          "allow in a multi-line comment block ignored")
+
+    # File-level suppression near the top.
+    filetop = ("// lint:allow-file(naked-new): allocator benchmark\n"
+               + bad)
+    check(not run_fixture(path, filetop), "file-level allow ignored")
+
+    # Reason-less suppressions are rejected...
+    noreason = bad.rstrip("\n") + "  // lint:allow(naked-new)\n"
+    got = run_fixture(path, noreason)
+    check(any(v.rule == "lint-suppression" for v in got),
+          "reason-less allow accepted")
+    # ...and still do NOT suppress the finding.
+    check(any(v.rule == "naked-new" for v in got),
+          "reason-less allow suppressed the finding anyway")
+
+    # Unused suppressions are violations.
+    stale = "int x = 0;  // lint:allow(naked-new): stale\n"
+    check(any(v.rule == "lint-suppression"
+              for v in run_fixture(path, stale)),
+          "stale suppression not reported")
+
+    # Rule scoping: the u16 cast is fine outside serializer paths.
+    check(not run_fixture("src/timing/dram.cc",
+                          FIXTURES["narrow-cast-serialize"][1]),
+          "narrow-cast-serialize fired outside its path scope")
+
+    # fatal() with a genuine message and later-arg-only messages pass.
+    ok_fatal = ("fatal(flag, \" expects a number, got: \", text);\n"
+                "fatal(\"unknown technique: \", name);\n")
+    check(not run_fixture("src/common/config.cc", ok_fatal),
+          "fatal-message fired on non-empty messages")
+    # Multi-line empty call still caught.
+    check(any(v.rule == "fatal-message"
+              for v in run_fixture("src/common/config.cc",
+                                   "fatal(\n);\n")),
+          "fatal-message missed a multi-line empty call")
+
+    # csv-escape: human-readable (non-CSV) streaming stays clean.
+    summary = "os << \"== \" << r.workload << \" / \" << name;\n"
+    check(not run_fixture("src/sim/report.cc", summary),
+          "csv-escape fired on a non-CSV summary line")
+
+    if failures:
+        for f in failures:
+            print(f"SELF-TEST FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"lint.py self-test OK ({len(RULES)} rules, "
+          f"{len(FIXTURES)} fixtures)")
+    return 0
+
+
+# --- CLI --------------------------------------------------------------------
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="regpu repo-invariant linter (stdlib-only)")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: the script's parent)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded rule fixtures and exit")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.rule_id:24} {rule.summary}")
+        return 0
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    violations = lint_tree(root)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"lint.py: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("lint.py: tree clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,9 +63,9 @@ class PolygonListBuilder
         std::function<void(const Primitive &, const DrawCall &,
                            const std::vector<TileId> &)>;
 
-    PolygonListBuilder(const GpuConfig &config, StatRegistry &stats,
-                       MemTraceSink *mem)
-        : config(config), stats(stats), mem(mem)
+    PolygonListBuilder(const GpuConfig &_config, StatRegistry &_stats,
+                       MemTraceSink *_mem)
+        : config(_config), stats(_stats), mem(_mem)
     {}
 
     /** Register the per-primitive observer (may be empty). */

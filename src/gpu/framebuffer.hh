@@ -25,8 +25,8 @@ namespace regpu
 class FrameBuffer
 {
   public:
-    explicit FrameBuffer(const GpuConfig &config)
-        : config(config),
+    explicit FrameBuffer(const GpuConfig &_config)
+        : config(_config),
           surfaces{std::vector<Color>(pixelCount()),
                    std::vector<Color>(pixelCount())}
     {}

@@ -36,9 +36,9 @@ struct GeometryOutput
 class GeometryPipeline
 {
   public:
-    GeometryPipeline(const GpuConfig &config, StatRegistry &stats,
-                     MemTraceSink *mem)
-        : config(config), stats(stats), mem(mem)
+    GeometryPipeline(const GpuConfig &_config, StatRegistry &_stats,
+                     MemTraceSink *_mem)
+        : config(_config), stats(_stats), mem(_mem)
     {}
 
     /**

@@ -6,12 +6,12 @@
 namespace regpu
 {
 
-GraphicsPipeline::GraphicsPipeline(const GpuConfig &config,
-                                   StatRegistry &stats, MemTraceSink *mem,
-                                   const std::vector<Texture> &textures)
-    : config(config), stats(stats), mem(mem), textures(textures),
-      geometry(config, stats, mem), plb(config, stats, mem),
-      renderer(config, stats, mem, textures), fb(config)
+GraphicsPipeline::GraphicsPipeline(const GpuConfig &_config,
+                                   StatRegistry &_stats, MemTraceSink *_mem,
+                                   const std::vector<Texture> &_textures)
+    : config(_config), stats(_stats), mem(_mem), textures(_textures),
+      geometry(_config, _stats, _mem), plb(_config, _stats, _mem),
+      renderer(_config, _stats, _mem, _textures), fb(_config)
 {
 }
 

@@ -74,10 +74,10 @@ struct TileRenderStats
 class TileRenderer
 {
   public:
-    TileRenderer(const GpuConfig &config, StatRegistry &stats,
-                 MemTraceSink *mem,
-                 const std::vector<Texture> &textures)
-        : config(config), stats(stats), mem(mem), textures(textures)
+    TileRenderer(const GpuConfig &_config, StatRegistry &_stats,
+                 MemTraceSink *_mem,
+                 const std::vector<Texture> &_textures)
+        : config(_config), stats(_stats), mem(_mem), textures(_textures)
     {}
 
     /** Optional memoization hook (Fragment Memoization technique). */

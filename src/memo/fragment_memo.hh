@@ -155,10 +155,10 @@ class FragmentMemoization : public PipelineHooks,
                             public FragmentMemoClient
 {
   public:
-    FragmentMemoization(const GpuConfig &config, StatRegistry &stats)
-        : config(config), stats(stats),
-          lut(config.memoLutEntries, config.memoLutWays),
-          tileStreams(config.numTiles())
+    FragmentMemoization(const GpuConfig &_config, StatRegistry &_stats)
+        : config(_config), stats(_stats),
+          lut(_config.memoLutEntries, _config.memoLutWays),
+          tileStreams(_config.numTiles())
     {}
 
     // ---- PipelineHooks -----------------------------------------------

@@ -42,11 +42,11 @@ class RenderingElimination : public PipelineHooks
      * The hardware cost reported by the paper (2 frames of signatures)
      * corresponds to the steady-state live sets.
      */
-    RenderingElimination(const GpuConfig &config, StatRegistry &stats,
+    RenderingElimination(const GpuConfig &_config, StatRegistry &_stats,
                          HashKind hashKind = HashKind::Crc32)
-        : config(config), stats(stats),
-          buffer(config.numTiles(), config.doubleBuffered ? 3 : 2),
-          unit(config, buffer, hashKind)
+        : config(_config), stats(_stats),
+          buffer(_config.numTiles(), _config.doubleBuffered ? 3 : 2),
+          unit(_config, buffer, hashKind)
     {}
 
     // ---- PipelineHooks ---------------------------------------------------

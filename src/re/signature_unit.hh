@@ -56,9 +56,9 @@ struct SignatureUnitActivity
 class SignatureUnit
 {
   public:
-    SignatureUnit(const GpuConfig &config, SignatureBuffer &buffer,
+    SignatureUnit(const GpuConfig &_config, SignatureBuffer &_buffer,
                   HashKind hashKind = HashKind::Crc32)
-        : config(config), buffer(buffer), kind(hashKind)
+        : config(_config), buffer(_buffer), kind(hashKind)
     {}
 
     /** Frame start: reset per-frame activity. */

@@ -85,8 +85,8 @@ struct Camera
 class Scene : public FrameSource
 {
   public:
-    Scene(std::string name, const GpuConfig &config)
-        : name_(std::move(name)), config(config)
+    Scene(std::string name, const GpuConfig &_config)
+        : name_(std::move(name)), config(_config)
     {
         // Default: identity ortho camera covering the screen in
         // pixel units.

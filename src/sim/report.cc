@@ -18,35 +18,6 @@ pct(u64 part, u64 whole)
 }
 
 /**
- * RAII guard restoring a stream's formatting state (flags, precision,
- * fill) on scope exit, so the human-readable printers can set
- * std::fixed/std::setprecision freely without leaking that state into
- * the caller's later writes.
- */
-class StreamFormatGuard
-{
-  public:
-    explicit StreamFormatGuard(std::ostream &os)
-        : os(os), flags(os.flags()), precision(os.precision()),
-          fill(os.fill())
-    {}
-    ~StreamFormatGuard()
-    {
-        os.flags(flags);
-        os.precision(precision);
-        os.fill(fill);
-    }
-    StreamFormatGuard(const StreamFormatGuard &) = delete;
-    StreamFormatGuard &operator=(const StreamFormatGuard &) = delete;
-
-  private:
-    std::ostream &os;
-    std::ios_base::fmtflags flags;
-    std::streamsize precision;
-    char fill;
-};
-
-/**
  * RFC 4180 quoting for one CSV field: fields containing a comma,
  * quote, CR or LF are wrapped in double quotes with embedded quotes
  * doubled. Plain fields (every suite alias) pass through unchanged,

@@ -7,6 +7,7 @@
 #ifndef REGPU_SIM_REPORT_HH
 #define REGPU_SIM_REPORT_HH
 
+#include <ios>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -15,6 +16,38 @@
 
 namespace regpu
 {
+
+/**
+ * RAII guard restoring a stream's formatting state (flags, precision,
+ * fill) on scope exit, so printers can set std::fixed /
+ * std::setprecision freely without leaking that state into the
+ * caller's later writes (the PR 6 bug class: a leaked
+ * std::setprecision(1) truncated every CSV energy column).
+ * scripts/lint.py enforces that every std::fixed/std::setprecision
+ * user pairs with one of these.
+ */
+class StreamFormatGuard
+{
+  public:
+    explicit StreamFormatGuard(std::ostream &_os)
+        : os(_os), flags(_os.flags()), precision(_os.precision()),
+          fill(_os.fill())
+    {}
+    ~StreamFormatGuard()
+    {
+        os.flags(flags);
+        os.precision(precision);
+        os.fill(fill);
+    }
+    StreamFormatGuard(const StreamFormatGuard &) = delete;
+    StreamFormatGuard &operator=(const StreamFormatGuard &) = delete;
+
+  private:
+    std::ostream &os;
+    std::ios_base::fmtflags flags;
+    std::streamsize precision;
+    char fill;
+};
 
 /**
  * Append @p v to @p os as the shortest decimal string that parses

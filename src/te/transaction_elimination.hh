@@ -31,9 +31,9 @@ namespace regpu
 class TransactionElimination : public PipelineHooks
 {
   public:
-    TransactionElimination(const GpuConfig &config, StatRegistry &stats)
-        : config(config), stats(stats),
-          buffer(config.numTiles(), config.doubleBuffered ? 3 : 2)
+    TransactionElimination(const GpuConfig &_config, StatRegistry &_stats)
+        : config(_config), stats(_stats),
+          buffer(_config.numTiles(), _config.doubleBuffered ? 3 : 2)
     {}
 
     void

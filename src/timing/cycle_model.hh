@@ -43,7 +43,7 @@ struct FrameCycles
 class CycleModel
 {
   public:
-    explicit CycleModel(const GpuConfig &config) : config(config) {}
+    explicit CycleModel(const GpuConfig &_config) : config(_config) {}
 
     /**
      * Geometry Pipeline time for a frame.

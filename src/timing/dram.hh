@@ -121,7 +121,7 @@ struct DramTraffic
 class DramModel
 {
   public:
-    explicit DramModel(const GpuConfig &config) : config(config) {}
+    explicit DramModel(const GpuConfig &_config) : config(_config) {}
 
     /**
      * One burst of @p bytes at @p addr for traffic class @p cls in

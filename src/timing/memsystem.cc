@@ -5,10 +5,10 @@
 namespace regpu
 {
 
-MemSystem::MemSystem(const GpuConfig &config)
-    : config(config), dram_(config), l2(config.l2Cache),
-      vertex_(config.vertexCache, TrafficClass::Geometry),
-      tile_(config.tileCache, TrafficClass::Primitives)
+MemSystem::MemSystem(const GpuConfig &_config)
+    : config(_config), dram_(_config), l2(_config.l2Cache),
+      vertex_(_config.vertexCache, TrafficClass::Geometry),
+      tile_(_config.tileCache, TrafficClass::Primitives)
 {
     for (u32 i = 0; i < config.numTextureCaches; i++)
         texels_.emplace_back(config.textureCache, TrafficClass::Texels);

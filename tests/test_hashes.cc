@@ -207,8 +207,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(HashKind::Crc32, HashKind::XorFold,
                       HashKind::AddFold, HashKind::Fnv1a,
                       HashKind::Trunc4),
-    [](const ::testing::TestParamInfo<HashKind> &info) {
-        return hashKindName(info.param);
+    [](const ::testing::TestParamInfo<HashKind> &paramInfo) {
+        return hashKindName(paramInfo.param);
     });
 
 /** Avalanche sweep: flipping any input bit flips ~half the output bits

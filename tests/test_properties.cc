@@ -82,9 +82,9 @@ INSTANTIATE_TEST_SUITE_P(
                           Technique::TransactionElimination,
                           Technique::FragmentMemoization)),
     [](const ::testing::TestParamInfo<
-           std::tuple<const char *, Technique>> &info) {
-        return std::string(std::get<0>(info.param)) + "_"
-            + techniqueName(std::get<1>(info.param));
+           std::tuple<const char *, Technique>> &paramInfo) {
+        return std::string(std::get<0>(paramInfo.param)) + "_"
+            + techniqueName(std::get<1>(paramInfo.param));
     });
 
 /**

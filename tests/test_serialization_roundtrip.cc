@@ -441,6 +441,8 @@ TEST(SerializationRoundTrip, PrintersRestoreStreamState)
     SimResult r = smallRun(Technique::Baseline);
 
     std::ostringstream os;
+    // lint:allow(stream-guard): deliberately hostile pre-set state —
+    // the test proves the printers survive it without a guard here
     os << std::scientific;
     os.precision(11);
     const auto flagsBefore = os.flags();
@@ -564,6 +566,8 @@ TEST(SerializationRoundTrip, BenchJsonWriterEmitsStrictSortedJson)
     bench.add("m.mid \"quoted\"", "bytes", false, 1e-12);
 
     std::ostringstream os;
+    // lint:allow(stream-guard): deliberately hostile pre-set state —
+    // BenchJsonWriter must emit round-trip doubles regardless
     os << std::fixed;
     os.precision(1); // must not affect the output
     bench.writeTo(os);
