@@ -12,11 +12,15 @@
  * Usage:
  *   micro_pipeline [--workload ALIAS|all] [--tech base,re,te,memo]
  *                  [--frames N] [--width W --height H]
- *                  [--seed N] [--json FILE]
+ *                  [--seed N] [--json FILE] [--obs-dir DIR]
  *
  * --json writes the single-run machine-readable document
  * (sim/bench_json.hh) that scripts/bench.py aggregates into
  * BENCH_e2e.json.
+ * --obs-dir enables the observability layer (timeline tracing plus
+ * per-frame artifacts, src/obs/) so the reported throughput measures
+ * the tracing-enabled path — scripts/bench.py records this as
+ * pipelineObs.* next to the default-off pipeline.* numbers.
  */
 
 #include <chrono>
@@ -27,6 +31,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 #include "sim/bench_json.hh"
 #include "sim/parallel_runner.hh"
 #include "sim/simulator.hh"
@@ -54,6 +59,7 @@ struct Options
     u32 width = 256, height = 160;
     u64 seed = 1;
     std::string jsonPath;
+    std::string obsDir;
 };
 
 Options
@@ -66,7 +72,8 @@ parseArgs(int argc, char **argv)
         if (i + 1 >= argc)
             fatal("usage: micro_pipeline [--workload ALIAS|all] "
                   "[--tech base,re,te,memo] [--frames N] "
-                  "[--width W --height H] [--seed N] [--json FILE]");
+                  "[--width W --height H] [--seed N] [--json FILE] "
+                  "[--obs-dir DIR]");
         return argv[++i];
     };
     for (int i = 1; i < argc; i++) {
@@ -93,6 +100,8 @@ parseArgs(int argc, char **argv)
             opts.seed = parseCountArg("--seed", next(i));
         } else if (arg == "--json") {
             opts.jsonPath = next(i);
+        } else if (arg == "--obs-dir") {
+            opts.obsDir = next(i);
         } else {
             fatal("micro_pipeline: unknown flag '", arg, "'");
         }
@@ -121,6 +130,14 @@ main(int argc, char **argv)
         buildSweepJobs(opts.workloads, opts.techniques, opts.width,
                        opts.height, opts.frames, HashKind::Crc32,
                        opts.seed);
+    if (!opts.obsDir.empty()) {
+        ObsSink::instance().enable();
+        for (SimJob &job : jobs) {
+            job.options.obsDir = opts.obsDir;
+            job.options.obsTag = job.workload + "."
+                + techniqueName(job.config.technique);
+        }
+    }
 
     BenchJsonWriter bench;
     double totalSeconds = 0;
@@ -155,6 +172,16 @@ main(int argc, char **argv)
                 totalSeconds);
     bench.add("pipeline.total.framesPerSecond", "frames/s",
               /*higherIsBetter=*/true, totalFps);
+
+    if (!opts.obsDir.empty()) {
+        const std::string timelinePath =
+            opts.obsDir + "/timeline.trace.json";
+        if (ObsSink::instance().flushToFile(timelinePath))
+            std::fprintf(stderr, "obs: wrote %s\n",
+                         timelinePath.c_str());
+        else
+            warn("obs: cannot write timeline: ", timelinePath);
+    }
 
     if (!opts.jsonPath.empty()) {
         bench.writeFile(opts.jsonPath);

@@ -9,7 +9,8 @@
  *             [--hash crc32|xor|add|fnv] [--csv FILE] [--json FILE]
  *             [--timing-json FILE] [--quiet] [--jobs N] [--seed N]
  *             [--record-dir DIR] [--replay-dir DIR]
- *             [--assert-conservation]
+ *             [--assert-conservation] [--obs-dir DIR] [--obs-tiles]
+ *             [--progress]
  *
  * Examples:
  *   suite_cli --workload ccs --tech base,re
@@ -38,6 +39,15 @@
  * mem.conservationViolations stat (a memory-hierarchy routing path
  * double-charged or dropped bytes) — the CI traffic-conservation
  * smoke.
+ * --obs-dir DIR enables the observability layer (src/obs/): a Chrome
+ * trace-event timeline (DIR/timeline.trace.json, load in
+ * chrome://tracing or Perfetto), per-frame stat time-series JSONL and
+ * RE/TE/DRAM tile heatmaps per sweep cell. Observability only reads
+ * simulator state: stdout/CSV stay bit-identical with or without it,
+ * for any --jobs. --obs-tiles additionally records per-tile spans
+ * (numTiles events per frame — large).
+ * --progress renders live sweep progress (cells done/total, EWMA cell
+ * time, ETA) on stderr; stdout is untouched.
  */
 
 #include <chrono>
@@ -47,6 +57,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "obs/obs.hh"
 #include "sim/bench_json.hh"
 #include "sim/parallel_runner.hh"
 #include "sim/report.hh"
@@ -71,6 +82,9 @@ struct CliOptions
     std::string timingJsonPath;
     std::string recordDir;
     std::string replayDir;
+    std::string obsDir;
+    bool obsTiles = false;
+    bool progress = false;
     bool quiet = false;
     bool assertConservation = false;
     unsigned jobs = 1;
@@ -91,7 +105,9 @@ usage()
                  "[--json FILE] [--timing-json FILE] [--quiet]\n"
                  "                 [--jobs N] [--seed N] "
                  "[--record-dir DIR] [--replay-dir DIR] "
-                 "[--assert-conservation]\n");
+                 "[--assert-conservation]\n"
+                 "                 [--obs-dir DIR] [--obs-tiles] "
+                 "[--progress]\n");
     std::exit(2);
 }
 
@@ -141,6 +157,12 @@ parseArgs(int argc, char **argv)
             opts.recordDir = next(i);
         } else if (arg == "--replay-dir") {
             opts.replayDir = next(i);
+        } else if (arg == "--obs-dir") {
+            opts.obsDir = next(i);
+        } else if (arg == "--obs-tiles") {
+            opts.obsTiles = true;
+        } else if (arg == "--progress") {
+            opts.progress = true;
         } else if (arg == "--quiet") {
             opts.quiet = true;
         } else if (arg == "--assert-conservation") {
@@ -197,6 +219,20 @@ main(int argc, char **argv)
     // feed the sweep from traces instead of live generation.
     applyTraceFlags(jobs, opts.recordDir, opts.replayDir);
 
+    // Observability: enable the process-wide timeline sink and point
+    // every cell's artifact writer into --obs-dir. Tags are unique per
+    // cell (workload x technique), so artifact files never collide.
+    if (!opts.obsDir.empty()) {
+        ObsSink::instance().enable(ObsSink::defaultRingEvents,
+                                   opts.obsTiles);
+        for (SimJob &job : jobs) {
+            job.options.obsDir = opts.obsDir;
+            job.options.obsTag =
+                job.workload + "."
+                + techniqueName(job.config.technique);
+        }
+    }
+
     auto reportRun = [&](SimResult &r, const SimJob &job) {
         if (!opts.quiet) {
             printRunSummary(std::cout, r, job.config);
@@ -228,9 +264,25 @@ main(int argc, char **argv)
         };
     const auto sweepStart = std::chrono::steady_clock::now();
 
+    // Live progress renders on stderr only: stdout stays byte-identical
+    // with or without --progress, for any --jobs.
+    auto renderProgress = [&](const ProgressUpdate &u) {
+        std::fprintf(
+            stderr, "\r[%zu/%zu] %s.%s %.2fs | avg %.2fs | eta %.0fs   ",
+            u.done, u.total, jobs[u.jobIndex].workload.c_str(),
+            techniqueName(jobs[u.jobIndex].config.technique),
+            u.cellSeconds, u.ewmaCellSeconds, u.etaSeconds);
+        if (u.done == u.total)
+            std::fputc('\n', stderr);
+        std::fflush(stderr);
+    };
+
     std::vector<SimResult> allResults;
     if (!streaming)
-        allResults = runner.run(jobs);
+        allResults = runner.run(jobs, opts.progress
+                                          ? ProgressFn(renderProgress)
+                                          : ProgressFn{});
+    ProgressTracker streamTracker(jobs.size(), /*workers=*/1);
 
     std::vector<SimResult> sweepResults;
     sweepResults.reserve(jobs.size());
@@ -244,13 +296,16 @@ main(int argc, char **argv)
             if (streaming) {
                 const auto cellStart = std::chrono::steady_clock::now();
                 r = std::move(runner.run({jobs[idx]}).front());
+                const double cellSecs = secondsSince(cellStart);
                 if (!opts.timingJsonPath.empty())
                     timing.add("cell." + jobs[idx].workload + "."
                                    + techniqueName(
                                          jobs[idx].config.technique)
                                    + ".wallSeconds",
                                "s", /*higherIsBetter=*/false,
-                               secondsSince(cellStart));
+                               cellSecs);
+                if (opts.progress)
+                    renderProgress(streamTracker.cellDone(idx, cellSecs));
             } else {
                 r = std::move(allResults[idx]);
             }
@@ -294,6 +349,19 @@ main(int argc, char **argv)
                   " runs");
         std::cout << "traffic conservation: 0 violations across "
                   << sweepResults.size() << " runs\n";
+    }
+
+    // Flush the timeline last so it covers the whole sweep. The notice
+    // goes to stderr: "wrote" lines on stdout are part of the
+    // byte-identity contract checked by scripts/check.sh --obs.
+    if (!opts.obsDir.empty()) {
+        const std::string timelinePath =
+            opts.obsDir + "/timeline.trace.json";
+        if (ObsSink::instance().flushToFile(timelinePath))
+            std::fprintf(stderr, "obs: wrote %s\n",
+                         timelinePath.c_str());
+        else
+            warn("obs: cannot write timeline: ", timelinePath);
     }
 
     if (csv.is_open())

@@ -15,7 +15,9 @@
  *       --tech base,re,te,memo (default base,re) --hash K --jobs N
  *       --frames N (default: all recorded) --shards N (frame-range
  *       sharding across the worker pool; merged summary) --csv FILE
- *       --json FILE --quiet
+ *       --json FILE --quiet --obs-dir DIR (timeline + per-frame
+ *       artifacts, see src/obs/; shard tags gain a .shardN suffix so
+ *       artifact files never collide)
  *   splice <out> <in>[@first:count]...
  *                       build a new trace from frame ranges of
  *                       existing traces (inputs must share resolution
@@ -37,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hh"
 #include "sim/parallel_runner.hh"
 #include "sim/report.hh"
 #include "trace/trace_reader.hh"
@@ -63,6 +66,7 @@ usage()
         "[--jobs N]\n"
         "         [--frames N] [--shards N] [--csv FILE] "
         "[--json FILE] [--quiet]\n"
+        "         [--obs-dir DIR]\n"
         "  splice <out> <in>[@first:count]...\n");
     std::exit(2);
 }
@@ -224,7 +228,7 @@ cmdReplay(int argc, char **argv)
     unsigned jobs = 1;
     unsigned shards = 1;
     u64 frames = 0;  // 0: all recorded frames
-    std::string csvPath, jsonPath;
+    std::string csvPath, jsonPath, obsDir;
     bool quiet = false;
     for (int i = 3; i < argc; i++) {
         std::string arg = argv[i];
@@ -250,12 +254,17 @@ cmdReplay(int argc, char **argv)
             csvPath = nextArg(argc, argv, i);
         } else if (arg == "--json") {
             jsonPath = nextArg(argc, argv, i);
+        } else if (arg == "--obs-dir") {
+            obsDir = nextArg(argc, argv, i);
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
             usage();
         }
     }
+
+    if (!obsDir.empty())
+        ObsSink::instance().enable();
 
     std::ofstream csv, json;
     bool csvHeader = true;
@@ -280,6 +289,18 @@ cmdReplay(int argc, char **argv)
 
         std::vector<SimJob> shardJobs =
             buildReplayShards(path, config, options, shards);
+        // Per-cell artifact tags: shards of the same technique would
+        // otherwise write into the same files.
+        if (!obsDir.empty()) {
+            for (std::size_t s = 0; s < shardJobs.size(); s++) {
+                shardJobs[s].options.obsDir = obsDir;
+                std::string tag = shardJobs[s].workload + "."
+                    + techniqueName(tech);
+                if (shardJobs.size() > 1)
+                    tag += ".shard" + std::to_string(s);
+                shardJobs[s].options.obsTag = std::move(tag);
+            }
+        }
         std::vector<SimResult> results = runner.run(shardJobs);
         SimResult merged =
             shards == 1 ? std::move(results.front())
@@ -299,6 +320,15 @@ cmdReplay(int argc, char **argv)
         if (json.is_open())
             writeJsonRun(json, merged, shardJobs.front().config,
                          shardJobs.front().sceneSeed);
+    }
+    if (!obsDir.empty()) {
+        const std::string timelinePath =
+            obsDir + "/timeline.trace.json";
+        if (ObsSink::instance().flushToFile(timelinePath))
+            std::fprintf(stderr, "obs: wrote %s\n",
+                         timelinePath.c_str());
+        else
+            warn("obs: cannot write timeline: ", timelinePath);
     }
     if (csv.is_open())
         std::cout << "wrote " << csvPath << "\n";

@@ -438,6 +438,28 @@ class AreaRunner:
             except (OSError, json.JSONDecodeError, KeyError):
                 pass
 
+        # micro_pipeline with the observability layer on (timeline +
+        # per-frame artifacts): quantifies the tracing-enabled cost
+        # next to the default-off pipeline.* numbers. Only the total
+        # is kept — per-cell obs numbers add noise, not signal. New
+        # in this harness's revision; degrade without --obs-dir.
+        out_obs = self._tmp("pipeline_obs.json")
+        cmd = pin_prefix(self.pin) + [
+            self.binary("micro_pipeline"),
+            "--workload", "all", "--tech", p["techs"],
+            "--frames", str(p["frames"]),
+            "--width", str(p["width"]), "--height", str(p["height"]),
+            "--json", out_obs, "--obs-dir", self._tmp("obs_artifacts")]
+        ok, _, output = run_command(cmd)
+        if ok:
+            try:
+                doc = load_single_run_doc(out_obs)
+                total = doc.get("pipeline.total.framesPerSecond")
+                if total:
+                    records["pipelineObs.total.framesPerSecond"] = total
+            except (OSError, json.JSONDecodeError, KeyError):
+                pass
+
         # suite_cli sweep timed from outside: measures the whole
         # binary (scene gen + sim + report) and works for any
         # revision, including ones predating --timing-json.

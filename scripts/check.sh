@@ -23,8 +23,10 @@
 #    of failing, so bare containers still get the rest of tier-1.
 #  - ASan+UBSan (-DREGPU_SANITIZE=address) re-runs the unit suites;
 #    TSan (-DREGPU_SANITIZE=thread) runs the ParallelRunner
-#    determinism + contention-stress suites, proving the threading
-#    code race-free before intra-frame tile parallelism lands.
+#    determinism + contention-stress suites plus the observability
+#    suite (per-thread ring attach/park under an 8-worker pool),
+#    proving the threading code race-free before intra-frame tile
+#    parallelism lands.
 #
 # Usage:
 #   scripts/check.sh             # full tier-1 (lint, build, ctest,
@@ -38,6 +40,12 @@
 #                                # pass, schema-validate BENCH_*.json,
 #                                # prove --compare fails on a synthetic
 #                                # regression (timings NOT gated)
+#   scripts/check.sh --obs       # observability smoke: sweep with
+#                                # --obs-dir, validate the timeline
+#                                # JSON / per-frame JSONL / heatmap
+#                                # artifacts, and prove stdout+CSV are
+#                                # byte-identical with obs on/off for
+#                                # --jobs 1 and 8
 #
 set -euo pipefail
 
@@ -104,14 +112,14 @@ run_tsan_pass() {
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DREGPU_BUILD_BENCHES=OFF -DREGPU_BUILD_EXAMPLES=OFF
 
-    echo "== TSan build (parallel runner + stress suites) =="
+    echo "== TSan build (parallel runner + stress + obs suites) =="
     cmake --build "$TSAN_DIR" -j"$(nproc)" \
-        --target test_parallel_runner test_parallel_stress
+        --target test_parallel_runner test_parallel_stress test_obs
 
-    echo "== TSan ctest (determinism + contention stress) =="
+    echo "== TSan ctest (determinism + contention stress + obs rings) =="
     (cd "$TSAN_DIR" \
          && ctest --output-on-failure \
-                  -R '^(test_parallel_runner|test_parallel_stress)$')
+                  -R '^(test_parallel_runner|test_parallel_stress|test_obs)$')
 }
 
 run_sanitize_pass() {
@@ -162,6 +170,70 @@ EOF
     echo "identity comparison correctly accepted"
 }
 
+run_obs_smoke() {
+    echo "== observability smoke (--obs-dir artifacts + byte-identity) =="
+    local obs_tmp
+    obs_tmp=$(mktemp -d)
+    trap 'rm -rf "$obs_tmp"' RETURN
+
+    # Same CSV path for every run so the "wrote ..." stdout lines
+    # match; the determinism contract is that enabling observability
+    # (timeline + tile detail + artifacts) changes NEITHER stdout nor
+    # the CSV, at any worker count.
+    "$BUILD_DIR"/suite_cli --workload ccs --tech base,re --frames 4 \
+        --width 256 --height 160 --csv "$obs_tmp/out.csv" \
+        > "$obs_tmp/base.stdout" 2> /dev/null
+    cp "$obs_tmp/out.csv" "$obs_tmp/base.csv"
+    "$BUILD_DIR"/suite_cli --workload ccs --tech base,re --frames 4 \
+        --width 256 --height 160 --csv "$obs_tmp/out.csv" \
+        --obs-dir "$obs_tmp/obs1" --obs-tiles --progress \
+        > "$obs_tmp/obs1.stdout" 2> /dev/null
+    cmp "$obs_tmp/base.stdout" "$obs_tmp/obs1.stdout"
+    cmp "$obs_tmp/base.csv" "$obs_tmp/out.csv"
+    "$BUILD_DIR"/suite_cli --workload ccs --tech base,re --frames 4 \
+        --width 256 --height 160 --csv "$obs_tmp/out.csv" \
+        --obs-dir "$obs_tmp/obs8" --jobs 8 \
+        > "$obs_tmp/obs8.stdout" 2> /dev/null
+    cmp "$obs_tmp/base.stdout" "$obs_tmp/obs8.stdout"
+    cmp "$obs_tmp/base.csv" "$obs_tmp/out.csv"
+    echo "stdout+CSV byte-identical with obs off/on, --jobs 1 and 8"
+
+    # Artifact validation: the timeline must be loadable JSON in
+    # trace-event form, the JSONL must carry one object per frame,
+    # and heatmap dimensions must match the 256x160/16 => 16x10 grid.
+    python3 - "$obs_tmp/obs1" <<'EOF'
+import json, sys
+d = sys.argv[1]
+
+t = json.load(open(d + "/timeline.trace.json"))
+events = t["traceEvents"]
+assert events, "empty timeline"
+for e in events:
+    for field in ("name", "ph", "pid", "tid", "ts"):
+        assert field in e, f"event missing {field}: {e}"
+phases = {e["ph"] for e in events}
+assert "X" in phases and "C" in phases and "M" in phases, phases
+spans = {e["name"] for e in events if e["ph"] == "X"}
+for expected in ("run", "frame", "geometry", "raster", "tile"):
+    assert expected in spans, f"no '{expected}' span: {sorted(spans)}"
+
+for tag in ("ccs.Baseline", "ccs.RE"):
+    lines = open(f"{d}/{tag}.frames.jsonl").read().splitlines()
+    assert len(lines) == 4, f"{tag}: {len(lines)} JSONL lines, want 4"
+    for i, line in enumerate(lines):
+        obj = json.loads(line)
+        assert obj["frame"] == i and obj["tag"] == tag
+        assert obj["counters"]["frames"] == 1, "not delta-valued"
+    for metric in ("re", "te", "dram"):
+        rows = open(f"{d}/{tag}.heat.{metric}.csv").read().splitlines()
+        assert rows[0] == "frame,tileX,tileY,value"
+        assert len(rows) == 1 + 4 * 16 * 10, f"{tag}.{metric}: {len(rows)}"
+        header = open(f"{d}/{tag}.{metric}.total.ppm", "rb").read(20)
+        assert header.startswith(b"P6\n16 10\n255\n"), header
+print("obs artifacts validated: timeline, JSONL, heatmaps")
+EOF
+}
+
 case "${1:-}" in
   --lint)
     run_lint_pass
@@ -190,6 +262,16 @@ case "${1:-}" in
     echo "== build =="
     cmake --build "$BUILD_DIR" -j"$(nproc)"
     run_bench_smoke
+    echo "== OK =="
+    exit 0
+    ;;
+  --obs)
+    run_lint_pass
+    echo "== configure =="
+    cmake -B "$BUILD_DIR" -S .
+    echo "== build =="
+    cmake --build "$BUILD_DIR" -j"$(nproc)"
+    run_obs_smoke
     echo "== OK =="
     exit 0
     ;;
@@ -243,6 +325,7 @@ if [[ "${1:-}" != "--unit" ]]; then
     echo "== micro_memsystem hierarchy-walk smoke =="
     "$BUILD_DIR"/micro_memsystem --accesses 200000 --mix-frames 4
 
+    run_obs_smoke
     run_tidy_pass
     run_sanitize_pass
     run_tsan_pass

@@ -34,6 +34,14 @@ Rules (ids are stable; see --list-rules):
                          name unescaped (RFC 4180 breakage on commas/
                          quotes). CSV-shaped streaming of workload
                          names must route through csvEscape().
+  obs-scope              PR 8 added the observability layer (src/obs/):
+                         simulator code that wants wall-clock timing
+                         must instrument through ObsScope/obsNowNs()
+                         so the work shows up on the timeline.
+                         Hand-rolled steady_clock pairs inside src/
+                         are invisible to tracing and drift from the
+                         spans (frontends/benches/tests stay free to
+                         use std::chrono directly).
 
 Suppression syntax (each use needs a non-empty reason):
 
@@ -303,6 +311,19 @@ RULES: List[Rule] = [
         lambda path: True,
         find_csv_unescaped,
     ),
+    Rule(
+        "obs-scope",
+        "src/ timing instrumentation routes through ObsScope/obsNowNs",
+        lambda path: (path.startswith("src/")
+                      and not path.startswith("src/obs/")),
+        regex_findings(
+            r"std::chrono::(steady_clock|high_resolution_clock"
+            r"|system_clock)\b",
+            "raw clock read in simulator code: instrument with "
+            "ObsScope/obsNowNs() (src/obs/obs.hh) so the measured "
+            "work also appears on the trace-event timeline; "
+            "hand-rolled clock pairs are invisible to tracing"),
+    ),
 ]
 
 
@@ -465,6 +486,12 @@ FIXTURES = {
         "os << r.workload << \",\" << r.frames;\n",
         "os << csvEscape(r.workload) << \",\" << r.frames;\n",
     ),
+    "obs-scope": (
+        "src/sim/parallel_runner.cc",
+        "const auto t0 = std::chrono::steady_clock::now();\n",
+        "const u64 startNs = obsNowNs();\n"
+        "ObsScope span(\"runner\", \"job\");\n",
+    ),
 }
 
 
@@ -534,6 +561,15 @@ def self_test() -> int:
     check(not run_fixture("src/timing/dram.cc",
                           FIXTURES["narrow-cast-serialize"][1]),
           "narrow-cast-serialize fired outside its path scope")
+
+    # obs-scope is src/-only and exempts the obs layer itself (the one
+    # sanctioned steady_clock reader) and frontends/benches/tests.
+    check(not run_fixture("src/obs/obs.cc", FIXTURES["obs-scope"][1]),
+          "obs-scope fired inside src/obs/")
+    for outside in ("bench/micro_pipeline.cc", "examples/suite_cli.cpp",
+                    "tests/test_obs.cc"):
+        check(not run_fixture(outside, FIXTURES["obs-scope"][1]),
+              f"obs-scope fired outside src/ ({outside})")
 
     # fatal() with a genuine message and later-arg-only messages pass.
     ok_fatal = ("fatal(flag, \" expects a number, got: \", text);\n"

@@ -9,6 +9,7 @@
 #ifndef REGPU_COMMON_LOGGING_HH
 #define REGPU_COMMON_LOGGING_HH
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -31,6 +32,17 @@ concat(Args &&...args)
 }
 
 void emit(const char *level, const std::string &msg);
+
+/** warnOnce() backend: fire only on the first exchange of the
+ *  call-site flag (thread-safe; later racers see true and skip even
+ *  the message assembly). */
+template <typename... Args>
+void
+warnOnceFire(std::atomic<bool> &fired, Args &&...args)
+{
+    if (!fired.exchange(true, std::memory_order_relaxed))
+        emit("warn", concat(args...));
+}
 
 } // namespace log_detail
 
@@ -70,6 +82,19 @@ inform(Args &&...args)
 
 /** Enable/disable inform() output (benches silence it). */
 void setInformEnabled(bool enabled);
+
+/**
+ * warn() that fires at most once per call site for the process
+ * lifetime (keyed by the call site's static flag, thread-safe). Use
+ * for per-frame/per-tile diagnostics that would otherwise repeat
+ * thousands of identical lines across a sweep or replay.
+ */
+#define warnOnce(...)                                                       \
+    do {                                                                    \
+        static std::atomic<bool> regpuWarnOnceFired{false};                 \
+        ::regpu::log_detail::warnOnceFire(regpuWarnOnceFired,               \
+                                          __VA_ARGS__);                     \
+    } while (0)
 
 /** panic() unless the invariant holds. */
 #define REGPU_ASSERT(cond, ...)                                             \

@@ -79,14 +79,66 @@ class StatRegistry
         scalars.clear();
     }
 
+    /**
+     * Visit every counter in name order: fn(std::string_view, u64).
+     * The read-only iteration surface exporters build on (the obs
+     * frame time-series, result merging, dumping) — no friend access,
+     * no full-map copies.
+     */
+    template <typename Fn>
+    void
+    forEachCounter(Fn &&fn) const
+    {
+        for (const auto &[name, val] : counters)
+            fn(std::string_view(name), val);
+    }
+
+    /** Visit every scalar in name order: fn(std::string_view, double). */
+    template <typename Fn>
+    void
+    forEachScalar(Fn &&fn) const
+    {
+        for (const auto &[name, val] : scalars)
+            fn(std::string_view(name), val);
+    }
+
+    /** Visit counters whose name starts with @p prefix (name order;
+     *  O(log n) seek to the first match, then contiguous). */
+    template <typename Fn>
+    void
+    forEachCounterPrefixed(std::string_view prefix, Fn &&fn) const
+    {
+        for (auto it = counters.lower_bound(prefix);
+             it != counters.end()
+             && std::string_view(it->first)
+                        .substr(0, prefix.size()) == prefix;
+             ++it)
+            fn(std::string_view(it->first), it->second);
+    }
+
+    /** Visit scalars whose name starts with @p prefix. */
+    template <typename Fn>
+    void
+    forEachScalarPrefixed(std::string_view prefix, Fn &&fn) const
+    {
+        for (auto it = scalars.lower_bound(prefix);
+             it != scalars.end()
+             && std::string_view(it->first)
+                        .substr(0, prefix.size()) == prefix;
+             ++it)
+            fn(std::string_view(it->first), it->second);
+    }
+
     /** Dump all stats, sorted by name. */
     void
     dump(std::ostream &os) const
     {
-        for (const auto &[name, val] : counters)
+        forEachCounter([&os](std::string_view name, u64 val) {
             os << name << " " << val << "\n";
-        for (const auto &[name, val] : scalars)
+        });
+        forEachScalar([&os](std::string_view name, double val) {
             os << name << " " << val << "\n";
+        });
     }
 
     const std::map<std::string, u64, std::less<>> &allCounters() const

@@ -1,7 +1,10 @@
 #include "gpu/pipeline.hh"
 
+#include <optional>
+
 #include "common/logging.hh"
 #include "gpu/memiface.hh"
+#include "obs/obs.hh"
 
 namespace regpu
 {
@@ -38,16 +41,27 @@ GraphicsPipeline::renderFrame(const FrameCommands &commands,
         plb.setObserver({});
     }
 
-    for (u32 d = 0; d < commands.draws.size(); d++) {
-        const DrawCall &draw = commands.draws[d];
-        if (hooks)
-            hooks->onDrawcallConstants(d, draw);
-        GeometryOutput geo = geometry.process(draw);
-        for (Primitive &p : geo.primitives)
-            p.drawIndex = d;
-        result.verticesShaded += geo.verticesShaded;
-        result.trianglesAssembled += geo.primitives.size();
-        plb.binDrawcall(draw, geo.primitives, result.binned);
+    {
+        ObsScope geometrySpan("gpu", "geometry", "frame",
+                              static_cast<i64>(frameCounter), "draws",
+                              static_cast<i64>(commands.draws.size()));
+        for (u32 d = 0; d < commands.draws.size(); d++) {
+            const DrawCall &draw = commands.draws[d];
+            if (hooks)
+                hooks->onDrawcallConstants(d, draw);
+            GeometryOutput geo = [&] {
+                ObsScope vertexSpan("gpu", "vertex", "draw",
+                                    static_cast<i64>(d));
+                return geometry.process(draw);
+            }();
+            for (Primitive &p : geo.primitives)
+                p.drawIndex = d;
+            result.verticesShaded += geo.verticesShaded;
+            result.trianglesAssembled += geo.primitives.size();
+            ObsScope binningSpan("gpu", "binning", "draw",
+                                 static_cast<i64>(d));
+            plb.binDrawcall(draw, geo.primitives, result.binned);
+        }
     }
 
     if (hooks)
@@ -58,7 +72,17 @@ GraphicsPipeline::renderFrame(const FrameCommands &commands,
     result.tiles.resize(numTiles);
     std::vector<Color> tileColors;
 
+    std::optional<ObsScope> rasterSpan;
+    rasterSpan.emplace("gpu", "raster", "frame",
+                       static_cast<i64>(frameCounter), "tiles",
+                       static_cast<i64>(numTiles));
     for (TileId tile = 0; tile < numTiles; tile++) {
+        // Tile spans (raster + shade fused per tile) are per-tile
+        // detail: numTiles events per frame, gated separately.
+        std::optional<ObsScope> tileSpan;
+        if (obsTileDetail())
+            tileSpan.emplace("gpu", "tile", "tile",
+                             static_cast<i64>(tile));
         TileOutcome &out = result.tiles[tile];
         const bool render = hooks ? hooks->shouldRenderTile(tile) : true;
         out.rendered = render;
@@ -99,6 +123,7 @@ GraphicsPipeline::renderFrame(const FrameCommands &commands,
             }
         }
     }
+    rasterSpan.reset();
 
     if (hooks)
         hooks->frameEnd();

@@ -22,6 +22,7 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "gpu/pipeline.hh"
+#include "obs/obs.hh"
 #include "re/signature_buffer.hh"
 #include "re/signature_unit.hh"
 
@@ -75,10 +76,12 @@ class RenderingElimination : public PipelineHooks
     }
 
     void
-    onDrawcallConstants(u32 /*drawIndex*/, const DrawCall &draw) override
+    onDrawcallConstants(u32 drawIndex, const DrawCall &draw) override
     {
         if (!enabled)
             return;
+        ObsScope span("re", "constants", "draw",
+                      static_cast<i64>(drawIndex));
         // Shader kind, texture binding and blend state are part of the
         // tile's rendering inputs even though the paper keeps shader
         // *code* and texture *contents* out of the signature: binding
@@ -140,6 +143,9 @@ class RenderingElimination : public PipelineHooks
         stats.inc("re.signatureCompares");
         if (comparable && matched) {
             stats.inc("re.tilesSkipped");
+            if (obsTileDetail())
+                obsInstant("re", "tileSkipped", "tile",
+                           static_cast<i64>(tile));
             return false;
         }
         return true;

@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 #include "trace/trace_scene.hh"
 #include "trace/trace_writer.hh"
 #include "workloads/workloads.hh"
@@ -123,8 +124,28 @@ ParallelRunner::ParallelRunner(unsigned jobs)
     }
 }
 
+ProgressUpdate
+ProgressTracker::cellDone(std::size_t jobIndex, double seconds)
+{
+    done_++;
+    ewma_ = done_ == 1 ? seconds
+                       : alpha * seconds + (1.0 - alpha) * ewma_;
+    ProgressUpdate u;
+    u.done = done_;
+    u.total = total_;
+    u.jobIndex = jobIndex;
+    u.cellSeconds = seconds;
+    u.ewmaCellSeconds = ewma_;
+    const std::size_t remaining = total_ > done_ ? total_ - done_ : 0;
+    const double lanes = static_cast<double>(
+        std::min<std::size_t>(workers_, remaining ? remaining : 1));
+    u.etaSeconds = static_cast<double>(remaining) * ewma_ / lanes;
+    return u;
+}
+
 std::vector<SimResult>
-ParallelRunner::run(const std::vector<SimJob> &jobs) const
+ParallelRunner::run(const std::vector<SimJob> &jobs,
+                    const ProgressFn &progress) const
 {
     std::vector<SimResult> results(jobs.size());
     if (jobs.empty())
@@ -170,23 +191,46 @@ ParallelRunner::run(const std::vector<SimJob> &jobs) const
         }
     }
 
+    const unsigned pool =
+        static_cast<unsigned>(std::min<std::size_t>(workers, jobs.size()));
+
+    ProgressTracker tracker(jobs.size(), pool);
+    std::mutex progressMutex;
+
     auto runOne = [&](std::size_t i) {
         const SimJob &job = jobs[i];
-        if (!job.tracePath.empty()) {
-            TraceScene scene(job.tracePath, job.traceFirstFrame,
-                             job.options.frames);
-            Simulator sim(scene, job.config, job.options);
-            results[i] = sim.run();
-        } else {
-            auto scene = makeBenchmark(job.workload, job.config,
-                                       job.sceneSeed);
-            Simulator sim(*scene, job.config, job.options);
-            results[i] = sim.run();
+        const u64 startNs = obsNowNs();
+        {
+            // Job-lifecycle span named after the workload (interned:
+            // the ring stores pointers, and job.workload outlives the
+            // run but not necessarily the flush).
+            const char *label = obsEnabled()
+                ? ObsSink::instance().intern(job.workload) : "job";
+            ObsScope jobSpan("runner", label, "job",
+                             static_cast<i64>(i), "tech",
+                             static_cast<i64>(job.config.technique));
+            if (!job.tracePath.empty()) {
+                TraceScene scene(job.tracePath, job.traceFirstFrame,
+                                 job.options.frames);
+                Simulator sim(scene, job.config, job.options);
+                results[i] = sim.run();
+            } else {
+                auto scene = makeBenchmark(job.workload, job.config,
+                                           job.sceneSeed);
+                Simulator sim(*scene, job.config, job.options);
+                results[i] = sim.run();
+            }
+        }
+        if (progress) {
+            const double secs =
+                static_cast<double>(obsNowNs() - startNs) * 1e-9;
+            // One lock around fold + callback keeps the delivered
+            // done counts monotone (order-stable) across workers.
+            std::lock_guard<std::mutex> lock(progressMutex);
+            progress(tracker.cellDone(i, secs));
         }
     };
 
-    const unsigned pool =
-        static_cast<unsigned>(std::min<std::size_t>(workers, jobs.size()));
     if (pool <= 1) {
         for (std::size_t i = 0; i < jobs.size(); i++)
             runOne(i);
@@ -397,10 +441,13 @@ mergeResults(const std::vector<SimResult> &results)
         equalPctWeighted +=
             r.equalTilesConsecutivePct * static_cast<double>(r.frames);
 
-        for (const auto &[name, val] : r.stats.allCounters())
+        r.stats.forEachCounter([&merged](std::string_view name, u64 val) {
             merged.stats.inc(name, val);
-        for (const auto &[name, val] : r.stats.allScalars())
-            merged.stats.add(name, val);
+        });
+        r.stats.forEachScalar(
+            [&merged](std::string_view name, double val) {
+                merged.stats.add(name, val);
+            });
     }
     if (merged.frames > 0)
         merged.equalTilesConsecutivePct =

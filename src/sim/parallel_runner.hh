@@ -21,6 +21,7 @@
 #ifndef REGPU_SIM_PARALLEL_RUNNER_HH
 #define REGPU_SIM_PARALLEL_RUNNER_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -130,6 +131,47 @@ std::vector<SimJob>
 buildReplayShards(const std::string &tracePath, const GpuConfig &config,
                   const SimOptions &options, unsigned shards);
 
+/** One live-progress sample: cell @p jobIndex just finished. */
+struct ProgressUpdate
+{
+    std::size_t done = 0;      //!< cells finished so far (monotone)
+    std::size_t total = 0;     //!< cells in the sweep
+    std::size_t jobIndex = 0;  //!< index of the cell that finished
+    double cellSeconds = 0;    //!< wall time of that cell
+    double ewmaCellSeconds = 0;//!< smoothed per-cell time
+    double etaSeconds = 0;     //!< remaining / effective parallelism
+};
+
+/** Invoked after each finished cell. ParallelRunner serializes the
+ *  calls and delivers monotonically increasing `done` counts
+ *  (order-stable), from worker threads — keep the body short. */
+using ProgressFn = std::function<void(const ProgressUpdate &)>;
+
+/**
+ * Folds per-cell wall times into EWMA + ETA progress samples. Not
+ * thread-safe by itself: callers serialise cellDone() (ParallelRunner
+ * guards it with a mutex; single-threaded streaming loops need
+ * nothing).
+ */
+class ProgressTracker
+{
+  public:
+    /** @param workers effective parallelism for the ETA estimate. */
+    explicit ProgressTracker(std::size_t total, unsigned workers = 1)
+        : total_(total), workers_(workers == 0 ? 1 : workers)
+    {}
+
+    /** Fold one finished cell and return the sample to render. */
+    ProgressUpdate cellDone(std::size_t jobIndex, double seconds);
+
+  private:
+    std::size_t total_;
+    unsigned workers_;
+    std::size_t done_ = 0;
+    double ewma_ = 0;
+    static constexpr double alpha = 0.3;  //!< EWMA smoothing factor
+};
+
 /**
  * Fixed-size worker pool over a job vector.
  */
@@ -148,8 +190,15 @@ class ParallelRunner
      * any worker starts; any exception thrown by a running job is
      * captured and rethrown on the caller thread after the pool
      * drains.
+     *
+     * @p progress, when set, is invoked once per finished cell
+     * (serialized, monotone done counts); it observes execution order
+     * only — results stay bit-identical for any worker count.
      */
-    std::vector<SimResult> run(const std::vector<SimJob> &jobs) const;
+    std::vector<SimResult> run(const std::vector<SimJob> &jobs,
+                               const ProgressFn &progress) const;
+    std::vector<SimResult> run(const std::vector<SimJob> &jobs) const
+    { return run(jobs, ProgressFn{}); }
 
   private:
     unsigned workers;

@@ -1,6 +1,7 @@
 #include "sim/simulator.hh"
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 
 namespace regpu
 {
@@ -30,6 +31,15 @@ Simulator::Simulator(const FrameSource &scene_, const GpuConfig &config_,
         pipe->setHooks(memo.get());
         break;
     }
+
+    if (!options.obsDir.empty()) {
+        std::string tag = options.obsTag;
+        if (tag.empty())
+            tag = scene.name() + "."
+                + techniqueName(config.technique);
+        obsWriter = std::make_unique<RunObsWriter>(options.obsDir, tag,
+                                                   config);
+    }
 }
 
 FrameResult
@@ -55,7 +65,22 @@ Simulator::run()
 
     const u32 numTiles = config.numTiles();
 
+    ObsScope runSpan("sim", "run", "frames",
+                     static_cast<i64>(options.frames), "tech",
+                     static_cast<i64>(config.technique));
+
     for (u64 f = 0; f < options.frames; f++) {
+        ObsScope frameSpan("sim", "frame", "frame",
+                           static_cast<i64>(f), "tech",
+                           static_cast<i64>(config.technique));
+        if (obsWriter)
+            obsWriter->beginFrame(f);
+        // Per-frame aggregates for the obs counter tracks (cheap to
+        // fold alongside the classification the loop already does).
+        u64 frameTilesSkipped = 0;
+        u64 frameFlushesElided = 0;
+        u64 frameFragmentsShaded = 0;
+
         // Snapshot the current back buffer (it will be overwritten
         // this frame) so consecutive-frame equality can be measured
         // against frame f-1's displayed output.
@@ -73,10 +98,14 @@ Simulator::run()
             result.tilesTotal++;
             if (out.rendered)
                 result.tilesRendered++;
-            else
+            else {
                 result.tilesSkippedByRe++;
-            if (out.rendered && !out.flushed)
+                frameTilesSkipped++;
+            }
+            if (out.rendered && !out.flushed) {
                 result.tileFlushesEliminated++;
+                frameFlushesElided++;
+            }
 
             if (haveComparison) {
                 result.tileClasses.comparedTiles++;
@@ -99,6 +128,7 @@ Simulator::run()
 
             result.fragmentsShaded += out.stats.fragmentsShaded;
             result.fragmentsMemoReused += out.stats.fragmentsMemoReused;
+            frameFragmentsShaded += out.stats.fragmentsShaded;
         }
 
         // ---- Fig. 2 metric: equality vs the immediately previous
@@ -180,6 +210,8 @@ Simulator::run()
             const TileOutcome &out = fr.tiles[t];
             if (!out.rendered) {
                 raster += cycles.skippedTileCycles();
+                if (obsWriter)
+                    obsWriter->tileOutcome(t, false, false, 0);
                 continue;
             }
             u64 share = frameFragWork
@@ -191,8 +223,26 @@ Simulator::run()
                   / frameFragWork
                 : 0;
             raster += cycles.tileCycles(out.stats, share, texStall);
+            // The heatmap shares the cycle model's per-tile DRAM
+            // attribution, so the picture matches what timing charges.
+            if (obsWriter)
+                obsWriter->tileOutcome(t, true, out.flushed, share);
         }
         result.rasterCycles += raster;
+
+        // Per-frame counter tracks (Perfetto graphs these over time).
+        obsCounter("re", "tilesSkippedPerFrame",
+                   static_cast<double>(frameTilesSkipped));
+        obsCounter("te", "flushesElidedPerFrame",
+                   static_cast<double>(frameFlushesElided));
+        obsCounter("gpu", "fragmentsShadedPerFrame",
+                   static_cast<double>(frameFragmentsShaded));
+        obsCounter("mem", "dramBytesPerFrame",
+                   static_cast<double>(memSum.dramDelta.total()));
+
+        if (obsWriter)
+            obsWriter->endFrame(f, statsReg, geo + stall, raster,
+                                memSum.dramDelta.total());
     }
 
     // ---- End-of-run flush --------------------------------------------
@@ -242,9 +292,12 @@ Simulator::run()
     {
         ConservationReport cons = mem->checkConservation();
         statsReg.inc("mem.conservationViolations", cons.violations);
+        // Once per process, not once per run: a sweep with a broken
+        // routing path would otherwise repeat this for every cell
+        // (the violation count stays exported per run regardless).
         if (!cons.ok())
-            warn("memory-hierarchy conservation violated:\n",
-                 cons.detail);
+            warnOnce("memory-hierarchy conservation violated:\n",
+                     cons.detail);
         statsReg.inc("mem.dramReadBytes",
                      mem->dram().traffic().totalReads());
         statsReg.inc("mem.dramWriteBytes",

@@ -16,6 +16,7 @@
 #include "common/stats.hh"
 #include "gpu/pipeline.hh"
 #include "memo/fragment_memo.hh"
+#include "obs/run_artifacts.hh"
 #include "power/energy_model.hh"
 #include "re/rendering_elimination.hh"
 #include "scene/frame_source.hh"
@@ -88,6 +89,16 @@ struct SimOptions
                            //!< only seeds the signature history
     bool groundTruth = true;
     HashKind hashKind = HashKind::Crc32;
+
+    /** When non-empty, write per-run observability artifacts (frame
+     *  time-series JSONL + tile heatmaps, obs/run_artifacts.hh) into
+     *  this directory. Artifacts only *read* simulator state: results
+     *  are bit-identical with or without them. */
+    std::string obsDir;
+    /** Artifact filename prefix; defaults to
+     *  "<workload>.<technique>". Frontends running several cells into
+     *  one directory must make it unique per cell. */
+    std::string obsTag;
 };
 
 /**
@@ -123,6 +134,7 @@ class Simulator
     std::unique_ptr<FragmentMemoization> memo;
     CycleModel cycles;
     EnergyModel energy;
+    std::unique_ptr<RunObsWriter> obsWriter;  //!< only with obsDir set
 
     // Previous-frame back-buffer copy for the Fig. 2 metric.
     std::vector<Color> prevFrameColors;

@@ -14,12 +14,14 @@
 #ifndef REGPU_TE_TRANSACTION_ELIMINATION_HH
 #define REGPU_TE_TRANSACTION_ELIMINATION_HH
 
+#include <optional>
 #include <vector>
 
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "crc/crc32.hh"
 #include "gpu/pipeline.hh"
+#include "obs/obs.hh"
 #include "re/signature_buffer.hh"
 
 namespace regpu
@@ -49,6 +51,11 @@ class TransactionElimination : public PipelineHooks
     bool
     shouldFlushTile(TileId tile, const std::vector<Color> &colors) override
     {
+        // Per-tile detail: one signature-check span per rendered tile.
+        std::optional<ObsScope> span;
+        if (obsTileDetail())
+            span.emplace("te", "signature", "tile",
+                         static_cast<i64>(tile));
         // Hash the tile's colors: CRC32 streamed straight over the
         // Color Buffer's storage (no per-tile heap message, no staging
         // copy). Color is four u8s {r,g,b,a}, identical to the packed

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/obs.hh"
+
 namespace regpu
 {
 
@@ -93,6 +95,7 @@ MemSystem::colorRead(Addr addr, u32 bytes)
 MemFrameSummary
 MemSystem::endFrame()
 {
+    ObsScope span("mem", "endFrame");
     frame.dramDelta = dram_.traffic().since(lastFrameTraffic_);
     lastFrameTraffic_ = dram_.traffic();
 
@@ -108,6 +111,7 @@ MemSystem::endFrame()
 void
 MemSystem::flushResident()
 {
+    ObsScope span("mem", "flushResident");
     // Only the L2 and Tile Cache can hold dirty lines (the L1 vertex
     // and texture caches are read-only streams); invalidateAll
     // writes dirty victims downstream before clearing.

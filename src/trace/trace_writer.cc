@@ -24,9 +24,12 @@ TraceWriter::TraceWriter(const std::string &path, const TraceMeta &meta)
 
 TraceWriter::~TraceWriter()
 {
+    // warnOnce: a sweep abandoning a whole directory of writers (e.g.
+    // when unwinding from an error) would otherwise repeat this line
+    // per trace; the first path is enough to locate the bug.
     if (!finished)
-        warn("trace: writer for ", path_,
-             " destroyed without finish(); file is incomplete");
+        warnOnce("trace: writer for ", path_,
+                 " destroyed without finish(); file is incomplete");
 }
 
 u64

@@ -6,6 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/stats.hh"
 
@@ -80,4 +83,69 @@ TEST(StatRegistry, AllCountersExposesEntries)
     s.inc("one");
     s.inc("two", 2);
     EXPECT_EQ(s.allCounters().size(), 2u);
+}
+
+TEST(StatRegistry, ForEachVisitsInNameOrder)
+{
+    StatRegistry s;
+    s.inc("zeta", 3);
+    s.inc("alpha", 1);
+    s.inc("mid", 2);
+    s.add("z.scalar", 2.5);
+    s.add("a.scalar", 1.5);
+
+    std::vector<std::string> names;
+    u64 sum = 0;
+    s.forEachCounter([&](std::string_view name, u64 value) {
+        names.emplace_back(name);
+        sum += value;
+    });
+    EXPECT_EQ(names,
+              (std::vector<std::string>{"alpha", "mid", "zeta"}));
+    EXPECT_EQ(sum, 6u);
+
+    names.clear();
+    double total = 0;
+    s.forEachScalar([&](std::string_view name, double value) {
+        names.emplace_back(name);
+        total += value;
+    });
+    EXPECT_EQ(names,
+              (std::vector<std::string>{"a.scalar", "z.scalar"}));
+    EXPECT_DOUBLE_EQ(total, 4.0);
+}
+
+TEST(StatRegistry, ForEachPrefixedSelectsSubsystem)
+{
+    StatRegistry s;
+    s.inc("re.tilesSkipped", 7);
+    s.inc("re.signatureHits", 3);
+    s.inc("ren.other", 1);   // shares a prefix of the prefix
+    s.inc("te.flushes", 5);
+    s.add("re.ratio", 0.5);
+
+    std::vector<std::string> names;
+    s.forEachCounterPrefixed(
+        "re.", [&](std::string_view name, u64 value) {
+            names.emplace_back(name);
+            (void)value;
+        });
+    EXPECT_EQ(names, (std::vector<std::string>{"re.signatureHits",
+                                               "re.tilesSkipped"}));
+
+    names.clear();
+    s.forEachScalarPrefixed(
+        "re.", [&](std::string_view name, double value) {
+            names.emplace_back(name);
+            (void)value;
+        });
+    EXPECT_EQ(names, (std::vector<std::string>{"re.ratio"}));
+
+    // A prefix past every name visits nothing (lower_bound seek).
+    names.clear();
+    s.forEachCounterPrefixed(
+        "zz.", [&](std::string_view name, u64) {
+            names.emplace_back(name);
+        });
+    EXPECT_TRUE(names.empty());
 }
