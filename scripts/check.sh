@@ -11,16 +11,23 @@
 # live run, and trace_cli verify must hold).
 #
 # Static & concurrency analysis gates:
-#  - scripts/lint.py (repo-invariant linter, stdlib-only) and its
-#    --self-test run UNCONDITIONALLY in every pass — they need no
-#    toolchain and catch the PR 2/4/6 bug classes (truncating
-#    serializers, leaked stream format state, hot-path allocations,
-#    unescaped CSV) mechanically.
+#  - scripts/lint.py (repo-invariant linter) and scripts/analyze.py
+#    (whole-repo architecture analyzer: layering DAG, header hygiene,
+#    stat-name and CSV/JSON schema cross-checks) are stdlib-only and
+#    run UNCONDITIONALLY in every pass, --self-tests first — they
+#    need no toolchain and catch the PR 2/4/6 bug classes plus
+#    cross-file drift (phantom stats, schema/README divergence,
+#    forbidden layer edges) mechanically.
 #  - clang-tidy (--tidy) is a ZERO-warning gate over src/, bench/,
 #    examples/ and tests/ using the committed .clang-tidy (plus the
 #    narrowing-conversion overlays on the serialization paths). When
 #    clang-tidy is not installed it SKIPS with a loud warning instead
 #    of failing, so bare containers still get the rest of tier-1.
+#  - clang -Werror=thread-safety (--tsa) compiles the annotated tree
+#    (common/thread_annotations.hh capability annotations on every
+#    mutex-guarded structure) with -DREGPU_THREAD_SAFETY=ON, proving
+#    the lock discipline at compile time. Same loud-skip policy when
+#    clang++ is absent.
 #  - ASan+UBSan (-DREGPU_SANITIZE=address) re-runs the unit suites;
 #    TSan (-DREGPU_SANITIZE=thread) runs the ParallelRunner
 #    determinism + contention-stress suites plus the observability
@@ -28,12 +35,18 @@
 #    proving the threading code race-free before intra-frame tile
 #    parallelism lands.
 #
+# Every run ends with a gate summary table: per gate, whether it ran,
+# was skipped (and why), failed, or was not part of the invoked flow.
+#
 # Usage:
-#   scripts/check.sh             # full tier-1 (lint, build, ctest,
-#                                # smokes, sanitize + tsan passes)
+#   scripts/check.sh             # full tier-1 (lint, analyze, build,
+#                                # ctest, smokes, tidy, tsa, sanitize
+#                                # + tsan passes)
 #   scripts/check.sh --unit      # configure + build + unit tests only
 #   scripts/check.sh --lint      # repo-invariant linter only
+#   scripts/check.sh --analyze   # architecture analyzer only
 #   scripts/check.sh --tidy      # clang-tidy zero-warning gate only
+#   scripts/check.sh --tsa       # clang thread-safety analysis only
 #   scripts/check.sh --tsan      # TSan build + parallel suites only
 #   scripts/check.sh --sanitize  # ASan+UBSan build + unit tests only
 #   scripts/check.sh --bench     # bench-harness smoke: one S-profile
@@ -54,14 +67,65 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=build
 SANITIZE_DIR=build-sanitize
 TSAN_DIR=build-tsan
+TSA_DIR=build-tsa
+
+# --- gate summary -----------------------------------------------------------
+#
+# Every pass function marks its gate: FAILED on entry, ran on clean
+# completion, skipped(reason) when a tool is absent. Because set -e
+# aborts the script inside a failing pass, whatever gate is still
+# marked FAILED at EXIT is the one that sank the run. The table prints
+# from the EXIT trap, after tmpfile cleanup, success or not.
+GATE_ORDER=(lint analyze build ctest smokes obs tidy tsa asan tsan bench)
+declare -A GATE_STATUS
+for g in "${GATE_ORDER[@]}"; do GATE_STATUS[$g]="not run"; done
+
+gate_begin() { GATE_STATUS[$1]="FAILED"; }
+gate_end()   { GATE_STATUS[$1]="ran"; }
+gate_skip()  { GATE_STATUS[$1]="skipped ($2)"; }
+
+CLEANUP_PATHS=()
+
+print_gate_summary() {
+    local g touched=0
+    for g in "${GATE_ORDER[@]}"; do
+        [[ "${GATE_STATUS[$g]}" != "not run" ]] && touched=1
+    done
+    # Nothing started (e.g. usage error): no table.
+    [[ $touched -eq 1 ]] || return 0
+    echo
+    echo "== gate summary =="
+    printf '  %-9s %s\n' "gate" "status"
+    printf '  %-9s %s\n' "----" "------"
+    for g in "${GATE_ORDER[@]}"; do
+        printf '  %-9s %s\n' "$g" "${GATE_STATUS[$g]}"
+    done
+}
+
+on_exit() {
+    rm -rf ${CLEANUP_PATHS[@]+"${CLEANUP_PATHS[@]}"}
+    print_gate_summary
+}
+trap on_exit EXIT
 
 run_lint_pass() {
+    gate_begin lint
     echo "== lint.py self-test + repo-invariant lint =="
     python3 scripts/lint.py --self-test
     python3 scripts/lint.py
+    gate_end lint
+}
+
+run_analyze_pass() {
+    gate_begin analyze
+    echo "== analyze.py self-test + whole-repo architecture analysis =="
+    python3 scripts/analyze.py --self-test
+    python3 scripts/analyze.py
+    gate_end analyze
 }
 
 run_tidy_pass() {
+    gate_begin tidy
     echo "== clang-tidy zero-warning gate =="
     local tidy=""
     for cand in clang-tidy clang-tidy-21 clang-tidy-20 clang-tidy-19 \
@@ -78,6 +142,7 @@ run_tidy_pass() {
         echo "## zero-warning tidy gate. Install clang-tidy to run   ##" >&2
         echo "## the full static-analysis tier.                      ##" >&2
         echo "#########################################################" >&2
+        gate_skip tidy "clang-tidy not installed"
         return 0
     fi
 
@@ -104,9 +169,46 @@ EOF
     echo "$tu_list" | xargs -P "$(nproc)" -n 4 \
         "$tidy" -p "$BUILD_DIR" --quiet
     echo "clang-tidy: zero warnings over $(echo "$tu_list" | wc -l) TUs"
+    gate_end tidy
+}
+
+run_tsa_pass() {
+    gate_begin tsa
+    echo "== clang -Werror=thread-safety lock-discipline gate =="
+    local clangxx=""
+    for cand in clang++ clang++-21 clang++-20 clang++-19 clang++-18 \
+                clang++-17 clang++-16 clang++-15; do
+        if command -v "$cand" > /dev/null 2>&1; then
+            clangxx=$cand
+            break
+        fi
+    done
+    if [[ -z "$clangxx" ]]; then
+        echo "#########################################################" >&2
+        echo "## WARNING: clang++ is NOT installed — SKIPPING the    ##" >&2
+        echo "## -Werror=thread-safety gate. The REGPU_GUARDED_BY /  ##" >&2
+        echo "## REGPU_EXCLUDES annotations compile as no-ops under  ##" >&2
+        echo "## gcc; install clang++ to verify the lock discipline. ##" >&2
+        echo "#########################################################" >&2
+        gate_skip tsa "clang++ not installed"
+        return 0
+    fi
+
+    # Library + benches + examples cover every annotated TU; tests
+    # stay off so the gate never depends on gtest building under a
+    # second toolchain.
+    echo "== thread-safety configure ($clangxx, REGPU_THREAD_SAFETY=ON) =="
+    cmake -B "$TSA_DIR" -S . -DCMAKE_CXX_COMPILER="$clangxx" \
+        -DREGPU_THREAD_SAFETY=ON -DREGPU_BUILD_TESTS=OFF
+
+    echo "== thread-safety build (-Werror=thread-safety) =="
+    cmake --build "$TSA_DIR" -j"$(nproc)"
+    echo "thread-safety analysis: zero warnings"
+    gate_end tsa
 }
 
 run_tsan_pass() {
+    gate_begin tsan
     echo "== TSan configure (-DREGPU_SANITIZE=thread) =="
     cmake -B "$TSAN_DIR" -S . -DREGPU_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -120,9 +222,11 @@ run_tsan_pass() {
     (cd "$TSAN_DIR" \
          && ctest --output-on-failure \
                   -R '^(test_parallel_runner|test_parallel_stress|test_obs)$')
+    gate_end tsan
 }
 
 run_sanitize_pass() {
+    gate_begin asan
     echo "== sanitize configure (ASan + UBSan) =="
     cmake -B "$SANITIZE_DIR" -S . -DREGPU_SANITIZE=address \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -133,9 +237,11 @@ run_sanitize_pass() {
 
     echo "== sanitize ctest (unit) =="
     (cd "$SANITIZE_DIR" && ctest --output-on-failure -j"$(nproc)" -L unit)
+    gate_end asan
 }
 
 run_bench_smoke() {
+    gate_begin bench
     echo "== bench harness smoke (S profile, 1 repeat; timings non-gating) =="
     local bench_dir
     bench_dir=$(mktemp -d)
@@ -168,9 +274,11 @@ EOF
     python3 scripts/bench.py --compare "$bench_dir"/BENCH_e2e.json \
         "$bench_dir"/BENCH_e2e.json > /dev/null
     echo "identity comparison correctly accepted"
+    gate_end bench
 }
 
 run_obs_smoke() {
+    gate_begin obs
     echo "== observability smoke (--obs-dir artifacts + byte-identity) =="
     local obs_tmp
     obs_tmp=$(mktemp -d)
@@ -232,6 +340,16 @@ for tag in ("ccs.Baseline", "ccs.RE"):
         assert header.startswith(b"P6\n16 10\n255\n"), header
 print("obs artifacts validated: timeline, JSONL, heatmaps")
 EOF
+    gate_end obs
+}
+
+run_build_pass() {
+    gate_begin build
+    echo "== configure =="
+    cmake -B "$BUILD_DIR" -S .
+    echo "== build =="
+    cmake --build "$BUILD_DIR" -j"$(nproc)"
+    gate_end build
 }
 
 case "${1:-}" in
@@ -240,8 +358,18 @@ case "${1:-}" in
     echo "== OK =="
     exit 0
     ;;
+  --analyze)
+    run_analyze_pass
+    echo "== OK =="
+    exit 0
+    ;;
   --tidy)
     run_tidy_pass
+    echo "== OK =="
+    exit 0
+    ;;
+  --tsa)
+    run_tsa_pass
     echo "== OK =="
     exit 0
     ;;
@@ -257,20 +385,16 @@ case "${1:-}" in
     ;;
   --bench)
     run_lint_pass
-    echo "== configure =="
-    cmake -B "$BUILD_DIR" -S .
-    echo "== build =="
-    cmake --build "$BUILD_DIR" -j"$(nproc)"
+    run_analyze_pass
+    run_build_pass
     run_bench_smoke
     echo "== OK =="
     exit 0
     ;;
   --obs)
     run_lint_pass
-    echo "== configure =="
-    cmake -B "$BUILD_DIR" -S .
-    echo "== build =="
-    cmake --build "$BUILD_DIR" -j"$(nproc)"
+    run_analyze_pass
+    run_build_pass
     run_obs_smoke
     echo "== OK =="
     exit 0
@@ -282,19 +406,20 @@ if [[ "${1:-}" == "--unit" ]]; then
     LABEL_ARGS=(-L unit)
 fi
 
-# The linter needs no toolchain: it gates every pass, before the build.
+# The linter and analyzer need no toolchain: they gate every pass,
+# before the build.
 run_lint_pass
+run_analyze_pass
 
-echo "== configure =="
-cmake -B "$BUILD_DIR" -S .
+run_build_pass
 
-echo "== build =="
-cmake --build "$BUILD_DIR" -j"$(nproc)"
-
+gate_begin ctest
 echo "== ctest =="
 (cd "$BUILD_DIR" && ctest --output-on-failure -j"$(nproc)" "${LABEL_ARGS[@]}")
+gate_end ctest
 
 if [[ "${1:-}" != "--unit" ]]; then
+    gate_begin smokes
     echo "== suite_cli parallel determinism + traffic-conservation smoke =="
     # --assert-conservation makes every run verify the memory
     # hierarchy's byte accounting (bytes-in == L1 hits + L2 fills +
@@ -304,7 +429,7 @@ if [[ "${1:-}" != "--unit" ]]; then
     par_csv=$(mktemp)
     replay_csv=$(mktemp)
     trace_dir=$(mktemp -d)
-    trap 'rm -f "$seq_csv" "$par_csv" "$replay_csv"; rm -rf "$trace_dir"' EXIT
+    CLEANUP_PATHS+=("$seq_csv" "$par_csv" "$replay_csv" "$trace_dir")
     "$BUILD_DIR"/suite_cli --workload all --tech base,re --frames 6 \
         --width 256 --height 160 --quiet --csv "$seq_csv" --jobs 1 \
         --record-dir "$trace_dir" --assert-conservation
@@ -324,9 +449,11 @@ if [[ "${1:-}" != "--unit" ]]; then
 
     echo "== micro_memsystem hierarchy-walk smoke =="
     "$BUILD_DIR"/micro_memsystem --accesses 200000 --mix-frames 4
+    gate_end smokes
 
     run_obs_smoke
     run_tidy_pass
+    run_tsa_pass
     run_sanitize_pass
     run_tsan_pass
 fi

@@ -51,7 +51,9 @@ Suppression syntax (each use needs a non-empty reason):
                                                   lines only
 
 Unused suppressions are themselves violations, so stale allows cannot
-accumulate. To add a rule: append a Rule to RULES with a findings
+accumulate. scripts/analyze.py (the whole-repo architecture analyzer)
+imports strip_code/FileText from here, so both tools lex C++ — raw
+strings, line splices and all — identically. To add a rule: append a Rule to RULES with a findings
 function over FileText, and a fixture pair (violating snippet, clean
 snippet) in FIXTURES proving it fires — --self-test runs every rule
 against its fixtures and the suppression machinery.
@@ -64,8 +66,6 @@ import re
 import sys
 from typing import Callable, List, Optional, Tuple
 
-ALLOW_RE = re.compile(r"lint:allow\(([\w-]+)\)\s*(?::\s*(\S.*))?")
-ALLOW_FILE_RE = re.compile(r"lint:allow-file\(([\w-]+)\)\s*(?::\s*(\S.*))?")
 ALLOW_FILE_WINDOW = 40  # file-level allows must sit near the top
 
 CXX_EXTENSIONS = (".cc", ".cpp", ".hh", ".h")
@@ -112,12 +112,19 @@ class Rule:
     findings: Callable[[FileText], List[Tuple[int, str]]]
 
 
+RAW_STRING_OPEN_RE = re.compile(r'(?:u8|[uUL])?R"([^\s()\\"]{0,16})\(')
+
+
 def strip_code(text: str) -> str:
     """Blank comments and literal contents, preserving layout.
 
     Small state machine over //, /* */, "..." and '...' with escape
-    handling. Replaced characters become spaces (newlines survive), so
-    offsets and line numbers in the stripped view match the original.
+    handling, plus the two lexer corners that defeat naive stripping:
+    C++ raw strings R"delim(...)delim" (no escapes inside; the first
+    plain `"` does NOT close them) and backslash-newline line splices,
+    which keep a // comment alive onto the next physical line.
+    Replaced characters become spaces (newlines survive), so offsets
+    and line numbers in the stripped view match the original.
     """
     out = list(text)
     i, n = 0, len(text)
@@ -137,11 +144,33 @@ def strip_code(text: str) -> str:
                 out[i] = out[i + 1] = " "
                 i += 2
                 continue
+            if c in "uULR":
+                # Raw string? Only when the prefix starts a fresh
+                # token (an identifier ending in R, like FOOR"x", is
+                # not one).
+                m = RAW_STRING_OPEN_RE.match(text, i)
+                if m and not (i > 0 and (text[i - 1].isalnum()
+                                         or text[i - 1] == "_")):
+                    terminator = ')' + m.group(1) + '"'
+                    found = text.find(terminator, m.end())
+                    content_end = found if found != -1 else n
+                    for j in range(m.end(), content_end):
+                        if text[j] != "\n":
+                            out[j] = " "
+                    i = (content_end + len(terminator)
+                         if found != -1 else n)
+                    continue
             if c == '"':
                 state = STRING
             elif c == "'":
                 state = CHAR
         elif state == LINE_COMMENT:
+            if c == "\\" and nxt == "\n":
+                # Line splice: the comment continues on the next
+                # physical line.
+                out[i] = " "
+                i += 2
+                continue
             if c == "\n":
                 state = NORMAL
             else:
@@ -330,44 +359,52 @@ RULES: List[Rule] = [
 # --- Suppression handling ---------------------------------------------------
 
 class Suppressions:
-    """lint:allow / lint:allow-file markers of one file.
+    """<marker>:allow / <marker>:allow-file markers of one file.
 
     A line marker covers its own line and the first code line below
     its comment block, so a multi-line justification comment above the
-    finding works naturally.
+    finding works naturally. The marker defaults to "lint";
+    scripts/analyze.py reuses this machinery with marker="analyze" so
+    both tools share one suppression dialect (including the
+    unused-suppression policing).
     """
 
-    def __init__(self, ft: FileText):
+    def __init__(self, ft: FileText, marker: str = "lint"):
         self.ft = ft
+        self.marker = marker
         self.errors: List[Violation] = []
         self.line_allows = {}   # (line, rule) -> [used]
         self.file_allows = {}   # rule -> [line, used]
+        allow_re = re.compile(
+            marker + r":allow\(([\w-]+)\)\s*(?::\s*(\S.*))?")
+        allow_file_re = re.compile(
+            marker + r":allow-file\(([\w-]+)\)\s*(?::\s*(\S.*))?")
         for idx, raw_line in enumerate(ft.raw_lines):
             line = idx + 1
-            m = ALLOW_FILE_RE.search(raw_line)
+            m = allow_file_re.search(raw_line)
             if m:
                 rule, reason = m.group(1), m.group(2)
                 if not reason:
                     self.errors.append(Violation(
-                        ft.path, line, "lint-suppression",
-                        f"lint:allow-file({rule}) needs a reason "
-                        "(\"lint:allow-file(rule): why\")"))
+                        ft.path, line, f"{marker}-suppression",
+                        f"{marker}:allow-file({rule}) needs a reason "
+                        f"(\"{marker}:allow-file(rule): why\")"))
                 elif line > ALLOW_FILE_WINDOW:
                     self.errors.append(Violation(
-                        ft.path, line, "lint-suppression",
-                        f"lint:allow-file({rule}) must appear in the "
-                        f"first {ALLOW_FILE_WINDOW} lines"))
+                        ft.path, line, f"{marker}-suppression",
+                        f"{marker}:allow-file({rule}) must appear in "
+                        f"the first {ALLOW_FILE_WINDOW} lines"))
                 else:
                     self.file_allows[rule] = [line, False]
                 continue
-            m = ALLOW_RE.search(raw_line)
+            m = allow_re.search(raw_line)
             if m:
                 rule, reason = m.group(1), m.group(2)
                 if not reason:
                     self.errors.append(Violation(
-                        ft.path, line, "lint-suppression",
-                        f"lint:allow({rule}) needs a reason "
-                        "(\"lint:allow(rule): why\")"))
+                        ft.path, line, f"{marker}-suppression",
+                        f"{marker}:allow({rule}) needs a reason "
+                        f"(\"{marker}:allow(rule): why\")"))
                 else:
                     self.line_allows[(line, rule)] = [False]
 
@@ -399,15 +436,16 @@ class Suppressions:
         for (line, rule), [used] in sorted(self.line_allows.items()):
             if not used:
                 out.append(Violation(
-                    path, line, "lint-suppression",
-                    f"unused lint:allow({rule}) — the rule no longer "
-                    "fires here; delete the stale suppression"))
+                    path, line, f"{self.marker}-suppression",
+                    f"unused {self.marker}:allow({rule}) — the rule "
+                    "no longer fires here; delete the stale "
+                    "suppression"))
         for rule, (line, used) in sorted(self.file_allows.items()):
             if not used:
                 out.append(Violation(
-                    path, line, "lint-suppression",
-                    f"unused lint:allow-file({rule}) — delete the "
-                    "stale suppression"))
+                    path, line, f"{self.marker}-suppression",
+                    f"unused {self.marker}:allow-file({rule}) — "
+                    "delete the stale suppression"))
         return out
 
 
@@ -524,6 +562,41 @@ def self_test() -> int:
              "log(\"std::fixed new Foo malloc(\");\n")
     check(not run_fixture("src/gpu/raster.cc", quiet),
           f"comments/literals fired: {run_fixture('src/gpu/raster.cc', quiet)}")
+
+    # Raw string literals: contents are literal text, no matter what
+    # quotes or rule triggers they contain.
+    raw_quiet = ('const char *usage = R"(new Scene "quoted" \n'
+                 'std::vector<u8> malloc( std::fixed)";\n')
+    check(not run_fixture("src/gpu/raster.cc", raw_quiet),
+          f"raw-string contents fired: "
+          f"{run_fixture('src/gpu/raster.cc', raw_quiet)}")
+    # ...including the delimiter form, whose embedded )" must NOT
+    # terminate the literal early.
+    raw_delim = ('const char *s = R"x(ends with )" but not here)x";\n'
+                 'const char *t = "done";\n')
+    check(not run_fixture("src/gpu/raster.cc", raw_delim),
+          "R\"x(...)x\" delimiter form mis-lexed")
+    # Code AFTER a raw string is lexed normally again (a naive
+    # stripper desyncs at the first inner quote and swallows it).
+    raw_then_code = ('const char *u = R"(he said "hi")";\n'
+                     'auto *p = new Scene();\n')
+    check(any(v.rule == "naked-new"
+              for v in run_fixture("src/sim/simulator.cc",
+                                   raw_then_code)),
+          "code after a raw string not lexed (stripper desynced)")
+    # An identifier merely ending in R does not open a raw string.
+    not_raw = 'callFOOR("x(new Scene())");\nauto *q = new Scene();\n'
+    check(len([v for v in run_fixture("src/sim/simulator.cc", not_raw)
+               if v.rule == "naked-new"]) == 1,
+          "identifier ending in R mistaken for a raw-string prefix")
+
+    # Backslash-newline splices a // comment onto the next physical
+    # line; triggers there are still comment prose.
+    spliced = ('// this comment continues \\\n'
+               'auto *p = new Scene();\n'
+               'int live = 1;\n')
+    check(not run_fixture("src/sim/simulator.cc", spliced),
+          "line-spliced // comment not honored")
 
     # Same-line and previous-line suppression, with reasons.
     path, bad, _good = FIXTURES["naked-new"]

@@ -1,19 +1,29 @@
 #include "common/logging.hh"
 
-#include <atomic>
+#include "common/thread_annotations.hh"
 
 namespace regpu
 {
 
 namespace
 {
-std::atomic<bool> informEnabled{true};
+
+/**
+ * Serializes every emitted line (and guards the inform gate): workers
+ * of a ParallelRunner pool — and soon the intra-run tile pool — warn()
+ * concurrently, and interleaved partial lines would corrupt CI logs.
+ * The discipline is compile-enforced under clang -Wthread-safety.
+ */
+Mutex logMutex;
+bool informEnabled REGPU_GUARDED_BY(logMutex) = true;
+
 } // namespace
 
 void
 setInformEnabled(bool enabled)
 {
-    informEnabled.store(enabled);
+    MutexLock lock(logMutex);
+    informEnabled = enabled;
 }
 
 namespace log_detail
@@ -22,7 +32,8 @@ namespace log_detail
 void
 emit(const char *level, const std::string &msg)
 {
-    if (std::string(level) == "info" && !informEnabled.load())
+    MutexLock lock(logMutex);
+    if (std::string(level) == "info" && !informEnabled)
         return;
     std::fprintf(stderr, "[%s] %s\n", level, msg.c_str());
 }

@@ -80,7 +80,9 @@ inform(Args &&...args)
     log_detail::emit("info", log_detail::concat(args...));
 }
 
-/** Enable/disable inform() output (benches silence it). */
+/** Enable/disable inform() output (benches silence it). Thread-safe:
+ *  the gate is guarded by the same annotated mutex that serializes
+ *  emit(), so toggling races no in-flight line (logging.cc). */
 void setInformEnabled(bool enabled);
 
 /**
@@ -88,6 +90,12 @@ void setInformEnabled(bool enabled);
  * lifetime (keyed by the call site's static flag, thread-safe). Use
  * for per-frame/per-tile diagnostics that would otherwise repeat
  * thousands of identical lines across a sweep or replay.
+ *
+ * Concurrency: the call-site flag is a std::atomic exchanged outside
+ * any lock — the sanctioned annotation-free shared-state pattern
+ * (common/thread_annotations.hh); losers of the race skip even the
+ * message assembly. The eventual emit() serializes on the annotated
+ * logging mutex like every other line.
  */
 #define warnOnce(...)                                                       \
     do {                                                                    \

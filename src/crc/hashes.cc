@@ -21,6 +21,14 @@ hashKindName(HashKind kind)
     return "?";
 }
 
+const char *
+hashKindUsage()
+{
+    // Raw string: the quoted kind names read as written in the
+    // diagnostics that embed this text.
+    return R"(valid hash kinds: "crc32", "xor", "add", "fnv")";
+}
+
 void
 HashStream::reset()
 {

@@ -41,6 +41,12 @@ enum class HashKind
 /** Printable name. */
 const char *hashKindName(HashKind kind);
 
+/** One-line list of the CLI-parseable kind names (Trunc4 is a
+ *  deliberately-weak ablation baseline, bench-only and unlisted), for
+ *  usage/error text. Single source of truth for parseHashArg()
+ *  diagnostics. */
+const char *hashKindUsage();
+
 /**
  * Incremental signature over a byte stream for any HashKind:
  * init (constructor/reset), update, finalize. Allocation-free; any

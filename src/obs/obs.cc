@@ -74,7 +74,7 @@ ObsSink::instance()
 void
 ObsSink::enable(std::size_t eventsPerThread, bool tileDetail)
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     ringEvents = eventsPerThread == 0 ? 1 : eventsPerThread;
     // Old rings are discarded wholesale; live ThreadCaches notice the
     // generation bump and re-attach, and releaseRing() ignores
@@ -104,7 +104,7 @@ ObsSink::ring()
         && cache.gen == generation.load(std::memory_order_acquire))
         return cache.buf;
 
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     // Prefer a parked ring (its owner thread exited): worker pools
     // that come and go across a sweep reuse a bounded set of rings —
     // and of tids — instead of growing one ring per short-lived
@@ -136,7 +136,7 @@ ObsSink::ring()
 void
 ObsSink::releaseRing(ObsThreadRing *r)
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     // The cache may be stale: enable() rebuilds the ring set, so only
     // park pointers the sink still owns.
     for (auto &owned : rings) {
@@ -150,7 +150,7 @@ ObsSink::releaseRing(ObsThreadRing *r)
 const char *
 ObsSink::intern(std::string_view s)
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     auto it = internIndex.find(s);
     if (it != internIndex.end())
         return it->second;
@@ -163,7 +163,7 @@ ObsSink::intern(std::string_view s)
 u64
 ObsSink::droppedEvents() const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     u64 total = 0;
     for (const auto &r : rings)
         total += r->dropped;
@@ -173,7 +173,7 @@ ObsSink::droppedEvents() const
 std::size_t
 ObsSink::threadCount() const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     return rings.size();
 }
 
@@ -255,7 +255,7 @@ writeThreadMeta(std::ostream &os, u32 tid, bool &first)
 void
 ObsSink::writeTraceJson(std::ostream &os)
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
 
     u64 droppedTotal = 0;
     for (const auto &r : rings)

@@ -30,12 +30,12 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "common/types.hh"
 
 namespace regpu
@@ -138,6 +138,13 @@ class ObsThreadRing
 /**
  * The process-wide timeline sink. Owns every thread ring, the interned
  * strings events may point at, and the trace-event JSON writer.
+ *
+ * Lock discipline (compile-enforced under clang -Wthread-safety): the
+ * ring registry, intern pool and epoch are REGPU_GUARDED_BY(mutex);
+ * every public member that touches them takes the lock itself and is
+ * REGPU_EXCLUDES(mutex). The record path stays lock-free: it only
+ * dereferences the thread-local cached ring pointer, and each ring is
+ * single-producer (written by its owning thread alone).
  */
 class ObsSink
 {
@@ -152,15 +159,17 @@ class ObsSink
      * never flushed.
      */
     void enable(std::size_t eventsPerThread = defaultRingEvents,
-                bool tileDetail = false);
+                bool tileDetail = false) REGPU_EXCLUDES(mutex);
 
     /** Stop recording (buffered events stay available for flush). */
     void disable();
 
     /** Record one event into the calling thread's ring. */
     void
-    record(const ObsEvent &e)
+    record(const ObsEvent &e) REGPU_EXCLUDES(mutex)
     {
+        // ring() locks only on this thread's first visit per
+        // generation; steady-state recording is lock-free.
         ring()->push(e);
     }
 
@@ -170,31 +179,30 @@ class ObsSink
      * so intern per chunky unit of work (e.g. once per job), not per
      * event.
      */
-    const char *intern(std::string_view s);
+    const char *intern(std::string_view s) REGPU_EXCLUDES(mutex);
 
     /** Write everything recorded since enable() as trace-event JSON
      *  ("traceEvents" object form, one event per line). Clears the
      *  rings so a second flush does not duplicate events. */
-    void writeTraceJson(std::ostream &os);
+    void writeTraceJson(std::ostream &os) REGPU_EXCLUDES(mutex);
 
     /** writeTraceJson into @p path (directories created); returns
      *  false when the file cannot be opened. */
-    bool flushToFile(const std::string &path);
+    bool flushToFile(const std::string &path) REGPU_EXCLUDES(mutex);
 
     /** Events dropped on ring overflow since enable(). */
-    u64 droppedEvents() const;
+    u64 droppedEvents() const REGPU_EXCLUDES(mutex);
 
     /** Rings ever attached since enable() (== peak thread count). */
-    std::size_t threadCount() const;
+    std::size_t threadCount() const REGPU_EXCLUDES(mutex);
 
     static constexpr std::size_t defaultRingEvents = 1u << 15;
 
   private:
     ObsSink() = default;
 
-    ObsThreadRing *ring();
-    ObsThreadRing *attachRing();
-    void releaseRing(ObsThreadRing *r);
+    ObsThreadRing *ring() REGPU_EXCLUDES(mutex);
+    void releaseRing(ObsThreadRing *r) REGPU_EXCLUDES(mutex);
 
     struct ThreadCache
     {
@@ -208,12 +216,14 @@ class ObsSink
         }
     };
 
-    mutable std::mutex mutex;
-    std::vector<std::unique_ptr<ObsThreadRing>> rings;
-    std::deque<std::string> internPool;
-    std::map<std::string, const char *, std::less<>> internIndex;
-    std::size_t ringEvents = defaultRingEvents;
-    u64 epochNs = 0;
+    mutable Mutex mutex;
+    std::vector<std::unique_ptr<ObsThreadRing>> rings
+        REGPU_GUARDED_BY(mutex);
+    std::deque<std::string> internPool REGPU_GUARDED_BY(mutex);
+    std::map<std::string, const char *, std::less<>> internIndex
+        REGPU_GUARDED_BY(mutex);
+    std::size_t ringEvents REGPU_GUARDED_BY(mutex) = defaultRingEvents;
+    u64 epochNs REGPU_GUARDED_BY(mutex) = 0;
     std::atomic<u64> generation{0};
 };
 

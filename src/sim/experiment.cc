@@ -15,8 +15,8 @@ namespace
 {
 
 constexpr const char *scaleUsage =
-    "valid flags: --fast | --full | --frames N | --jobs N"
-    " | --record-dir DIR | --replay-dir DIR";
+    R"(valid flags: --fast | --full | --frames N | --jobs N)"
+    R"( | --record-dir DIR | --replay-dir DIR)";
 
 } // namespace
 

@@ -8,17 +8,45 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "common/logging.hh"
+#include "common/thread_annotations.hh"
+#include "crc/hashes.hh"
 #include "obs/obs.hh"
 #include "trace/trace_scene.hh"
 #include "trace/trace_writer.hh"
+#include "trace/verified_cache.hh"
 #include "workloads/workloads.hh"
 
 namespace regpu
 {
+
+namespace
+{
+
+/** Progress fold shared by the worker pool: the tracker is guarded,
+ *  and one critical section around fold + callback keeps delivered
+ *  done counts monotone (order-stable) across workers. */
+struct ProgressState
+{
+    ProgressState(std::size_t total, unsigned workers)
+        : tracker(total, workers)
+    {}
+
+    Mutex mutex;
+    ProgressTracker tracker REGPU_GUARDED_BY(mutex);
+};
+
+/** First-exception capture of the worker pool (rethrown on the caller
+ *  thread after the pool drains). */
+struct ErrorState
+{
+    Mutex mutex;
+    std::exception_ptr first REGPU_GUARDED_BY(mutex);
+};
+
+} // namespace
 
 u64
 deriveJobSeed(u64 baseSeed, const std::string &alias, u64 salt)
@@ -87,8 +115,7 @@ parseHashArg(const std::string &name)
         return HashKind::AddFold;
     if (name == "fnv")
         return HashKind::Fnv1a;
-    fatal("unknown hash kind: ", name,
-          " (valid: crc32, xor, add, fnv)");
+    fatal("unknown hash kind: ", name, " (", hashKindUsage(), ")");
 }
 
 std::vector<SimJob>
@@ -155,47 +182,29 @@ ParallelRunner::run(const std::vector<SimJob> &jobs,
     // std::exit(), which must never run on a worker while siblings
     // are mid-simulation. Live jobs must name a suite alias. Replay
     // jobs get their trace fully verified here (every chunk CRC, not
-    // just the header/index a TraceReader open checks) - TEXT/FRAM
-    // corruption is otherwise only discovered lazily, which would put
-    // the fatal() on a worker. The cache is process-wide so streaming
-    // frontends (one run() call per sweep cell) and per-technique
-    // replay loops verify each file once, not once per cell; trace
-    // files are assumed immutable for the life of the process.
-    static std::map<std::string, u64> verifiedTraceFrames;
-    static std::mutex verifiedMutex;
-    {
-        std::lock_guard<std::mutex> verifiedLock(verifiedMutex);
-        for (const SimJob &job : jobs) {
-            if (job.tracePath.empty()) {
-                if (!isBenchmarkAlias(job.workload))
-                    fatalUnknownAlias(job.workload);
-                continue;
-            }
-            auto it = verifiedTraceFrames.find(job.tracePath);
-            if (it == verifiedTraceFrames.end()) {
-                const TraceVerifyReport report =
-                    verifyTraceFile(job.tracePath);
-                if (!report.ok)
-                    fatal("trace: ", job.tracePath,
-                          " failed verification: ",
-                          report.errors.front());
-                it = verifiedTraceFrames
-                         .emplace(job.tracePath, report.frames)
-                         .first;
-            }
-            if (job.traceFirstFrame + job.options.frames > it->second)
-                fatal("trace: job wants frames [", job.traceFirstFrame,
-                      ", ", job.traceFirstFrame + job.options.frames,
-                      ") but ", job.tracePath, " has only ", it->second,
-                      " frames");
+    // just the header/index a TraceReader open checks) via the
+    // process-wide VerifiedTraceCache - TEXT/FRAM corruption is
+    // otherwise only discovered lazily, which would put the fatal()
+    // on a worker.
+    for (const SimJob &job : jobs) {
+        if (job.tracePath.empty()) {
+            if (!isBenchmarkAlias(job.workload))
+                fatalUnknownAlias(job.workload);
+            continue;
         }
+        const u64 traceFrames = VerifiedTraceCache::instance()
+                                    .verifiedFrameCount(job.tracePath);
+        if (job.traceFirstFrame + job.options.frames > traceFrames)
+            fatal("trace: job wants frames [", job.traceFirstFrame,
+                  ", ", job.traceFirstFrame + job.options.frames,
+                  ") but ", job.tracePath, " has only ", traceFrames,
+                  " frames");
     }
 
     const unsigned pool =
         static_cast<unsigned>(std::min<std::size_t>(workers, jobs.size()));
 
-    ProgressTracker tracker(jobs.size(), pool);
-    std::mutex progressMutex;
+    ProgressState progressState(jobs.size(), pool);
 
     auto runOne = [&](std::size_t i) {
         const SimJob &job = jobs[i];
@@ -224,10 +233,8 @@ ParallelRunner::run(const std::vector<SimJob> &jobs,
         if (progress) {
             const double secs =
                 static_cast<double>(obsNowNs() - startNs) * 1e-9;
-            // One lock around fold + callback keeps the delivered
-            // done counts monotone (order-stable) across workers.
-            std::lock_guard<std::mutex> lock(progressMutex);
-            progress(tracker.cellDone(i, secs));
+            MutexLock lock(progressState.mutex);
+            progress(progressState.tracker.cellDone(i, secs));
         }
     };
 
@@ -238,8 +245,7 @@ ParallelRunner::run(const std::vector<SimJob> &jobs,
     }
 
     std::atomic<std::size_t> nextJob{0};
-    std::exception_ptr firstError;
-    std::mutex errorMutex;
+    ErrorState errorState;
 
     auto workerLoop = [&]() {
         while (true) {
@@ -250,9 +256,9 @@ ParallelRunner::run(const std::vector<SimJob> &jobs,
             try {
                 runOne(i);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(errorMutex);
-                if (!firstError)
-                    firstError = std::current_exception();
+                MutexLock lock(errorState.mutex);
+                if (!errorState.first)
+                    errorState.first = std::current_exception();
             }
         }
     };
@@ -264,8 +270,11 @@ ParallelRunner::run(const std::vector<SimJob> &jobs,
     for (auto &t : threads)
         t.join();
 
-    if (firstError)
-        std::rethrow_exception(firstError);
+    {
+        MutexLock lock(errorState.mutex);
+        if (errorState.first)
+            std::rethrow_exception(errorState.first);
+    }
     return results;
 }
 

@@ -1,0 +1,31 @@
+#include "trace/verified_cache.hh"
+
+#include "common/logging.hh"
+#include "trace/trace_reader.hh"
+
+namespace regpu
+{
+
+VerifiedTraceCache &
+VerifiedTraceCache::instance()
+{
+    static VerifiedTraceCache cache;
+    return cache;
+}
+
+u64
+VerifiedTraceCache::verifiedFrameCount(const std::string &path)
+{
+    MutexLock lock(mutex);
+    auto it = frames.find(path);
+    if (it == frames.end()) {
+        const TraceVerifyReport report = verifyTraceFile(path);
+        if (!report.ok)
+            fatal("trace: ", path, " failed verification: ",
+                  report.errors.front());
+        it = frames.emplace(path, report.frames).first;
+    }
+    return it->second;
+}
+
+} // namespace regpu

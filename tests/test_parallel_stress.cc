@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hh"
 #include "sim/parallel_runner.hh"
 #include "sim/report.hh"
 #include "trace/trace_writer.hh"
@@ -163,6 +164,79 @@ TEST(ParallelStress, SharedReplayTraceCacheHammeredFromAllWorkers)
         });
     for (auto &t : runners)
         t.join();
+
+    for (std::size_t t = 0; t < results.size(); t++) {
+        ASSERT_EQ(results[t].size(), jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); i++) {
+            SCOPED_TRACE("runner " + std::to_string(t) + " job "
+                         + std::to_string(i));
+            expectIdentical(seq[i], results[t][i]);
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ParallelStress, ObsSinkEnabledWhileRunnersHammerSharedTraceCache)
+{
+    // The SharedReplayTraceCache scenario again, but with tracing ON:
+    // every worker of every pool attaches a per-thread obs ring (the
+    // parked-ring reuse path churns as pools spawn and join), records
+    // spans/counters into it, and interns job labels through the sink
+    // lock — all while the verified-trace cache takes its concurrent
+    // first-miss. Pins two contracts at once under TSan: the ObsSink
+    // registry/intern/ring lifecycle is race-free against
+    // ParallelRunner, and enabling observability perturbs no result
+    // bit.
+    const std::string path =
+        testing::TempDir() + "regpu_stress_obs.rgputrace";
+    GpuConfig config;
+    config.scaleResolution(96, 64);
+    const u64 frames = 4;
+    {
+        auto scene = makeBenchmark("ccs", config, 7);
+        captureTrace(*scene, config, frames, 7, path);
+    }
+
+    auto replayJob = [&](Technique tech, u64 first, u64 len) {
+        SimJob job = tinyJob("ccs", tech, 7, len);
+        job.tracePath = path;
+        job.traceFirstFrame = first;
+        return job;
+    };
+    std::vector<SimJob> jobs;
+    for (int rep = 0; rep < 4; rep++) {
+        jobs.push_back(replayJob(Technique::Baseline, 0, frames));
+        jobs.push_back(
+            replayJob(Technique::RenderingElimination, 0, frames));
+        jobs.push_back(
+            replayJob(Technique::TransactionElimination, 1, 2));
+    }
+
+    // Reference results with the sink off.
+    const std::vector<SimResult> seq = ParallelRunner(1).run(jobs);
+
+    ObsSink::instance().enable(/*eventsPerThread=*/1u << 12);
+
+    std::vector<std::vector<SimResult>> results(4);
+    std::vector<std::thread> runners;
+    runners.reserve(results.size());
+    for (std::size_t t = 0; t < results.size(); t++)
+        runners.emplace_back([&, t] {
+            results[t] = ParallelRunner(4).run(jobs);
+        });
+    for (auto &t : runners)
+        t.join();
+
+    ObsSink::instance().disable();
+
+    // 4 runner threads x 4 workers attached rings (the runner threads
+    // themselves also record), and nothing raced: the flush must
+    // produce loadable trace JSON with the runner spans present.
+    EXPECT_GE(ObsSink::instance().threadCount(), 16u);
+    std::ostringstream trace;
+    ObsSink::instance().writeTraceJson(trace);
+    EXPECT_NE(trace.str().find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(trace.str().find("\"runner\""), std::string::npos);
 
     for (std::size_t t = 0; t < results.size(); t++) {
         ASSERT_EQ(results[t].size(), jobs.size());
