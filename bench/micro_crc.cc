@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "crc/crc32_backend.hh"
 #include "crc/hashes.hh"
 #include "crc/units.hh"
 
@@ -188,6 +189,56 @@ BM_Crc32CombineBytes(benchmark::State &state)
     }
 }
 BENCHMARK(BM_Crc32CombineBytes)->Arg(70)->Arg(144);
+
+// Bulk-append throughput per CRC backend (crc/crc32_backend.hh). Arg0
+// selects the backend, Arg1 the message length; backends the build or
+// CPU lacks are skipped, so the suite runs everywhere and reports
+// exactly the paths this machine can take. The portable row is the
+// slice-by-8 baseline every hardware path must beat for the runtime
+// dispatch to be worth its branch.
+static void
+BM_Crc32BackendBulk(benchmark::State &state)
+{
+    const CrcBackend backend =
+        static_cast<CrcBackend>(state.range(0));
+    if (!crcBackendAvailable(backend)) {
+        state.SkipWithError("backend not available on this machine");
+        return;
+    }
+    auto msg = randomBytes(static_cast<std::size_t>(state.range(1)));
+    u32 crc = 0;
+    for (auto _ : state) {
+        crc = crc32AppendWith(backend, crc, msg.data(), msg.size());
+        benchmark::DoNotOptimize(crc);
+    }
+    state.SetLabel(crcBackendName(backend));
+    state.SetBytesProcessed(
+        static_cast<i64>(state.iterations()) * state.range(1));
+}
+BENCHMARK(BM_Crc32BackendBulk)
+    ->ArgsProduct({{static_cast<int>(CrcBackend::Portable),
+                    static_cast<int>(CrcBackend::Clmul),
+                    static_cast<int>(CrcBackend::ArmCrc)},
+                   {64, 1024, 65536}});
+
+// The dispatched path end-to-end: Crc32Stream::update() as the TE
+// tile-signature loop calls it, which hands chunks of >= 64 bytes to
+// the active backend (REGPU_CRC_BACKEND=portable pins the baseline
+// for comparison).
+static void
+BM_Crc32StreamBulkDispatch(benchmark::State &state)
+{
+    auto msg = randomBytes(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        Crc32Stream stream;
+        stream.update(msg);
+        benchmark::DoNotOptimize(stream.value());
+    }
+    state.SetLabel(crcBackendName(crcActiveBackend()));
+    state.SetBytesProcessed(
+        static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32StreamBulkDispatch)->Arg(1024)->Arg(65536);
 
 static void
 BM_HashBlock(benchmark::State &state)

@@ -12,7 +12,13 @@
  * Usage:
  *   micro_pipeline [--workload ALIAS|all] [--tech base,re,te,memo]
  *                  [--frames N] [--width W --height H]
- *                  [--seed N] [--json FILE] [--obs-dir DIR]
+ *                  [--seed N] [--tile-jobs N] [--json FILE]
+ *                  [--obs-dir DIR]
+ *
+ * --tile-jobs N rasterizes each frame's tiles on N intra-frame
+ * workers (results are bit-identical for any N; the flag only moves
+ * wall-clock). With N > 1 the headline pipeline.total number measures
+ * the tile-pool speedup directly.
  *
  * --json writes the single-run machine-readable document
  * (sim/bench_json.hh) that scripts/bench.py aggregates into
@@ -58,6 +64,7 @@ struct Options
     u64 frames = 8;
     u32 width = 256, height = 160;
     u64 seed = 1;
+    unsigned tileJobs = 1;
     std::string jsonPath;
     std::string obsDir;
 };
@@ -72,8 +79,8 @@ parseArgs(int argc, char **argv)
         if (i + 1 >= argc)
             fatal("usage: micro_pipeline [--workload ALIAS|all] "
                   "[--tech base,re,te,memo] [--frames N] "
-                  "[--width W --height H] [--seed N] [--json FILE] "
-                  "[--obs-dir DIR]");
+                  "[--width W --height H] [--seed N] [--tile-jobs N] "
+                  "[--json FILE] [--obs-dir DIR]");
         return argv[++i];
     };
     for (int i = 1; i < argc; i++) {
@@ -98,6 +105,8 @@ parseArgs(int argc, char **argv)
                 parseCountArg("--height", next(i)));
         } else if (arg == "--seed") {
             opts.seed = parseCountArg("--seed", next(i));
+        } else if (arg == "--tile-jobs") {
+            opts.tileJobs = parseTileJobsArg(next(i));
         } else if (arg == "--json") {
             opts.jsonPath = next(i);
         } else if (arg == "--obs-dir") {
@@ -130,6 +139,8 @@ main(int argc, char **argv)
         buildSweepJobs(opts.workloads, opts.techniques, opts.width,
                        opts.height, opts.frames, HashKind::Crc32,
                        opts.seed);
+    for (SimJob &job : jobs)
+        job.options.tileJobs = opts.tileJobs;
     if (!opts.obsDir.empty()) {
         ObsSink::instance().enable();
         for (SimJob &job : jobs) {

@@ -7,7 +7,8 @@
  *   suite_cli [--workload ALIAS|all] [--tech base,re,te,memo]
  *             [--frames N] [--width W --height H]
  *             [--hash crc32|xor|add|fnv] [--csv FILE] [--json FILE]
- *             [--timing-json FILE] [--quiet] [--jobs N] [--seed N]
+ *             [--timing-json FILE] [--quiet] [--jobs N]
+ *             [--tile-jobs N] [--seed N]
  *             [--record-dir DIR] [--replay-dir DIR]
  *             [--assert-conservation] [--obs-dir DIR] [--obs-tiles]
  *             [--progress]
@@ -21,6 +22,10 @@
  *
  * --jobs N runs the (workload x technique) sweep on N worker threads
  * (0 = all cores). Output and CSV are bit-identical for any N.
+ * --tile-jobs N rasterizes each frame's tiles on N intra-frame
+ * workers (N >= 1; docs/ARCHITECTURE.md has the threading model).
+ * Output stays bit-identical for any N, and composes with --jobs:
+ * every sweep worker gets its own tile pool.
  * --seed N derives a distinct content seed per workload (any N,
  * including 1); techniques of the same workload always share a seed
  * for fairness. Without the flag every workload uses the legacy
@@ -88,6 +93,7 @@ struct CliOptions
     bool quiet = false;
     bool assertConservation = false;
     unsigned jobs = 1;
+    unsigned tileJobs = 1;
     u64 seed = 1;        //!< base content seed
     bool seedSet = false;  //!< --seed given: derive per-workload seeds
                            //!< (fair across techniques); unset: legacy
@@ -103,7 +109,7 @@ usage()
                  "                 [--width W --height H] "
                  "[--hash crc32|xor|add|fnv] [--csv FILE] "
                  "[--json FILE] [--timing-json FILE] [--quiet]\n"
-                 "                 [--jobs N] [--seed N] "
+                 "                 [--jobs N] [--tile-jobs N] [--seed N] "
                  "[--record-dir DIR] [--replay-dir DIR] "
                  "[--assert-conservation]\n"
                  "                 [--obs-dir DIR] [--obs-tiles] "
@@ -169,6 +175,8 @@ parseArgs(int argc, char **argv)
             opts.assertConservation = true;
         } else if (arg == "--jobs") {
             opts.jobs = parseJobsArg(next(i));
+        } else if (arg == "--tile-jobs") {
+            opts.tileJobs = parseTileJobsArg(next(i));
         } else if (arg == "--seed") {
             opts.seed = parseCountArg("--seed", next(i));
             opts.seedSet = true;
@@ -218,6 +226,9 @@ main(int argc, char **argv)
     // Trace capture/replay: record before the sweep, then optionally
     // feed the sweep from traces instead of live generation.
     applyTraceFlags(jobs, opts.recordDir, opts.replayDir);
+
+    for (SimJob &job : jobs)
+        job.options.tileJobs = opts.tileJobs;
 
     // Observability: enable the process-wide timeline sink and point
     // every cell's artifact writer into --obs-dir. Tags are unique per

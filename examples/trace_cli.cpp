@@ -13,6 +13,8 @@
  *                       corruption
  *   replay <file>       simulate from a trace
  *       --tech base,re,te,memo (default base,re) --hash K --jobs N
+ *       --tile-jobs N (intra-frame tile workers; results identical
+ *       for any N, see docs/ARCHITECTURE.md)
  *       --frames N (default: all recorded) --shards N (frame-range
  *       sharding across the worker pool; merged summary) --csv FILE
  *       --json FILE --quiet --obs-dir DIR (timeline + per-frame
@@ -63,7 +65,7 @@ usage()
         "  info <file>\n"
         "  verify <file>...\n"
         "  replay <file> [--tech base,re,te,memo] [--hash K] "
-        "[--jobs N]\n"
+        "[--jobs N] [--tile-jobs N]\n"
         "         [--frames N] [--shards N] [--csv FILE] "
         "[--json FILE] [--quiet]\n"
         "         [--obs-dir DIR]\n"
@@ -226,6 +228,7 @@ cmdReplay(int argc, char **argv)
                                       Technique::RenderingElimination};
     HashKind hash = HashKind::Crc32;
     unsigned jobs = 1;
+    unsigned tileJobs = 1;
     unsigned shards = 1;
     u64 frames = 0;  // 0: all recorded frames
     std::string csvPath, jsonPath, obsDir;
@@ -242,6 +245,8 @@ cmdReplay(int argc, char **argv)
             hash = parseHashArg(nextArg(argc, argv, i));
         } else if (arg == "--jobs") {
             jobs = parseJobsArg(nextArg(argc, argv, i));
+        } else if (arg == "--tile-jobs") {
+            tileJobs = parseTileJobsArg(nextArg(argc, argv, i));
         } else if (arg == "--shards") {
             const u64 v =
                 parseCountArg("--shards", nextArg(argc, argv, i));
@@ -286,6 +291,7 @@ cmdReplay(int argc, char **argv)
         SimOptions options;
         options.frames = frames;
         options.hashKind = hash;
+        options.tileJobs = tileJobs;
 
         std::vector<SimJob> shardJobs =
             buildReplayShards(path, config, options, shards);

@@ -501,6 +501,52 @@ def find_raw_mutex(tree: Tree) -> List[Violation]:
     return out
 
 
+# --- cli-flag-doc -----------------------------------------------------------
+
+# A whole string literal that is exactly a CLI flag ("--tile-jobs",
+# not a usage blurb that merely contains one): the shape every
+# frontend's argv comparison uses.
+CLI_FLAG_RE = re.compile(r'"(--[a-z][a-z0-9-]*)"')
+
+
+def cli_flags_parsed(tree: Tree) -> List[Tuple[str, int, str]]:
+    """(path, line, flag) for every flag literal in the CLI frontends
+    (examples/) and bench drivers (bench/). Matched on raw so the
+    literal's content is visible, then cross-checked against the code
+    view so flags quoted inside comments never count."""
+    out = []
+    for prefix in ("examples/", "bench/"):
+        for ft in cxx_files(tree, prefix):
+            for m in CLI_FLAG_RE.finditer(ft.raw):
+                if ft.code[m.start()] != '"':
+                    continue  # the quote was blanked: comment text
+                out.append((ft.path, line_of(ft.raw, m.start()),
+                            m.group(1)))
+    return out
+
+
+def find_cli_flag_doc(tree: Tree) -> List[Violation]:
+    readme = tree.get("README.md")
+    if readme is None:
+        return []
+    out = []
+    seen = set()
+    for path, line, flag in cli_flags_parsed(tree):
+        if flag in seen:
+            continue
+        seen.add(flag)
+        # Boundary guard: "--tile" must not be satisfied by the
+        # README mentioning "--tile-jobs".
+        if not re.search(re.escape(flag) + r"(?![a-z0-9-])",
+                         readme.raw):
+            out.append(Violation(
+                path, line, "cli-flag-doc",
+                f"CLI flag {flag} is parsed here but never mentioned "
+                "in README.md; every user-facing flag of the "
+                "examples/ and bench/ binaries must be documented"))
+    return out
+
+
 RULES: List[TreeRule] = [
     TreeRule("layer-dag",
              "src/ include edges stay inside the declared layer DAG",
@@ -523,6 +569,9 @@ RULES: List[TreeRule] = [
     TreeRule("raw-mutex",
              "src/ locks through annotated regpu::Mutex only",
              find_raw_mutex),
+    TreeRule("cli-flag-doc",
+             "every --flag parsed by examples/+bench/ is in README.md",
+             find_cli_flag_doc),
 ]
 
 
@@ -672,6 +721,19 @@ FIXTURES = {
          "regpu::Mutex m;\nvoid f() { regpu::MutexLock lock(m); }\n",
          "tests/test_pool.cc":
          "#include <mutex>\nstd::mutex m;  // tests may lock freely\n"},
+    ),
+    # Acceptance injection: a parsed flag the README never mentions.
+    "cli-flag-doc": (
+        {"examples/suite_cli.cpp":
+         'void f(const std::string &arg) {\n'
+         '    if (arg == "--ghost-flag") {}\n}\n'},
+        {"examples/suite_cli.cpp":
+         ('void f(const std::string &arg) {\n'
+          '    if (arg == "--frames") {}\n'
+          '    // "--phantom" only lives in this comment\n'
+          '    usage("usage: [--embedded N] text");\n}\n'),
+         "README.md": BASE_README +
+         "\nFlags: `--frames N` selects the frame count.\n"},
     ),
 }
 

@@ -4,11 +4,13 @@
 #
 # Configures, builds (-Wall -Wextra -Wshadow -Wnon-virtual-dtor,
 # warnings are the build's problem to stay clean of), runs every
-# registered ctest suite, and finishes with two smokes: a suite_cli
+# registered ctest suite, and finishes with three smokes: a suite_cli
 # determinism pass (a parallel sweep must emit a CSV bit-identical to
-# the sequential one) and a trace record->verify->replay pass
-# (replaying a recorded trace must emit a CSV bit-identical to the
-# live run, and trace_cli verify must hold).
+# the sequential one), a tile worker pool determinism pass (the same
+# sweep must be bit-identical across --tile-jobs 1/4/8, with the
+# observability sink off and on) and a trace record->verify->replay
+# pass (replaying a recorded trace must emit a CSV bit-identical to
+# the live run, and trace_cli verify must hold).
 #
 # Static & concurrency analysis gates:
 #  - scripts/lint.py (repo-invariant linter) and scripts/analyze.py
@@ -31,9 +33,10 @@
 #  - ASan+UBSan (-DREGPU_SANITIZE=address) re-runs the unit suites;
 #    TSan (-DREGPU_SANITIZE=thread) runs the ParallelRunner
 #    determinism + contention-stress suites plus the observability
-#    suite (per-thread ring attach/park under an 8-worker pool),
-#    proving the threading code race-free before intra-frame tile
-#    parallelism lands.
+#    suite (per-thread ring attach/park under an 8-worker pool).
+#    test_parallel_stress includes the TilePoolStress suites, so the
+#    intra-frame tile worker pool — including outer sweep workers
+#    crossed with inner tile workers — is TSan-checked automatically.
 #
 # Every run ends with a gate summary table: per gate, whether it ran,
 # was skipped (and why), failed, or was not part of the invoked flow.
@@ -438,6 +441,30 @@ if [[ "${1:-}" != "--unit" ]]; then
         --assert-conservation
     cmp "$seq_csv" "$par_csv"
     echo "parallel sweep CSV is bit-identical to sequential"
+
+    echo "== tile worker pool determinism smoke (--tile-jobs 1/4/8, obs on/off) =="
+    # The intra-frame pool's contract: tile-parallel rendering is
+    # byte-identical to the serial pipeline for any worker count,
+    # with observability both off and on (the obs run also exercises
+    # the per-worker gpu.tileWorker spans).
+    tile1_csv=$(mktemp)
+    tile4_csv=$(mktemp)
+    tile8_csv=$(mktemp)
+    tile_obs_dir=$(mktemp -d)
+    CLEANUP_PATHS+=("$tile1_csv" "$tile4_csv" "$tile8_csv" "$tile_obs_dir")
+    "$BUILD_DIR"/suite_cli --workload ccs --tech base,re,te --frames 4 \
+        --width 256 --height 160 --quiet --csv "$tile1_csv" \
+        --tile-jobs 1
+    "$BUILD_DIR"/suite_cli --workload ccs --tech base,re,te --frames 4 \
+        --width 256 --height 160 --quiet --csv "$tile4_csv" \
+        --tile-jobs 4 2> /dev/null
+    "$BUILD_DIR"/suite_cli --workload ccs --tech base,re,te --frames 4 \
+        --width 256 --height 160 --quiet --csv "$tile8_csv" \
+        --tile-jobs 8 --obs-dir "$tile_obs_dir" 2> /dev/null
+    cmp "$tile1_csv" "$tile4_csv"
+    cmp "$tile1_csv" "$tile8_csv"
+    grep -q '"tileWorker"' "$tile_obs_dir"/timeline.trace.json
+    echo "tile-pool CSV is bit-identical across --tile-jobs 1/4/8 (obs on/off)"
 
     echo "== trace record->verify->replay smoke =="
     "$BUILD_DIR"/trace_cli verify "$trace_dir"/*.rgputrace

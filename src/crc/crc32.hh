@@ -197,6 +197,17 @@ class CrcTables
 };
 
 /**
+ * Append @p n message bytes to a running CRC through the fastest
+ * hashing engine available on this machine: PCLMULQDQ folding on x86,
+ * the CRC32 extension on ARMv8, the slice-by-8 tables everywhere else
+ * (runtime-dispatched once per process, overridable with
+ * REGPU_CRC_BACKEND - see crc32_backend.hh). Bit-identical to the
+ * portable path for every byte length and every seed; Crc32Stream
+ * routes large update() calls here.
+ */
+u32 crc32AppendBulk(u32 crc, const u8 *data, std::size_t n);
+
+/**
  * Incremental CRC-32 over a byte stream: init / update / value, no
  * heap allocation, no internal buffering. Any segmentation of the
  * message into update() calls yields the same CRC as one shot, and
@@ -217,6 +228,12 @@ class Crc32Stream
         length_ = 0;
     }
 
+    /** Messages at least this long go through the runtime-dispatched
+     *  hardware bulk path; shorter ones stay on the inline LUT steps
+     *  (the Signature Unit's putU32-sized appends would only pay the
+     *  dispatch call for no folding benefit). */
+    static constexpr std::size_t bulkDispatchBytes = 64;
+
     /** Append @p bytes to the message. */
     void
     update(std::span<const u8> bytes)
@@ -224,6 +241,10 @@ class Crc32Stream
         const u8 *p = bytes.data();
         std::size_t n = bytes.size();
         length_ += n;
+        if (n >= bulkDispatchBytes) {
+            crc_ = crc32AppendBulk(crc_, p, n);
+            return;
+        }
         while (n >= 8) {
             u64 block = 0;
             for (int i = 0; i < 8; i++)

@@ -69,6 +69,59 @@ class PipelineHooks
 
     /** Memoization hook, if the technique provides one. */
     virtual FragmentMemoClient *memoClient() { return nullptr; }
+
+    // ---- Tile worker pool contract (docs/ARCHITECTURE.md) --------------
+    //
+    // When tileWorkersSafe() returns true, the pipeline splits the
+    // raster loop into a parallel phase-1 (per tile, on pool workers)
+    // and a serial in-tile-order merge, and calls the three hooks
+    // below instead of weaving everything through shouldRenderTile /
+    // shouldFlushTile alone. The split is used for EVERY --tile-jobs
+    // value including 1, so a technique's output cannot depend on the
+    // job count. Techniques that keep mutable per-tile state across
+    // renderTile (Fragment Memoization's LUT) or that cannot separate
+    // a pure query from their counted decision stay on the default
+    // (false) and run the legacy serial loop untouched.
+
+    /** Opt into the phase-1/merge split. Implementations returning
+     *  true guarantee: queryRenderTile is pure and thread-safe,
+     *  prepareFlushTile is pure and thread-safe, and memoClient() is
+     *  nullptr. */
+    virtual bool tileWorkersSafe() const { return false; }
+
+    /**
+     * Phase-1 prediction of shouldRenderTile: same answer, no side
+     * effects (no stats, no signature-buffer access counting), safe to
+     * call concurrently for distinct tiles. The merge phase asserts it
+     * agrees with shouldRenderTile for every tile.
+     */
+    virtual bool queryRenderTile(TileId /*tile*/) { return true; }
+
+    /**
+     * Phase-1 half of the flush decision: any pure per-tile
+     * computation over the rendered colors (Transaction Elimination
+     * hashes them here, on the worker that rendered them). The value
+     * is handed back verbatim to shouldFlushTilePre in the merge
+     * phase. Pure and thread-safe for distinct tiles.
+     */
+    virtual u32
+    prepareFlushTile(TileId /*tile*/, const std::vector<Color> & /*colors*/)
+    {
+        return 0;
+    }
+
+    /**
+     * Merge-phase flush decision, given prepareFlushTile's result:
+     * this is where counted buffer accesses, stats and energy charges
+     * belong. Default forwards to shouldFlushTile so techniques
+     * without a precomputable part need not know the split exists.
+     */
+    virtual bool
+    shouldFlushTilePre(TileId tile, const std::vector<Color> &colors,
+                       u32 /*prepared*/)
+    {
+        return shouldFlushTile(tile, colors);
+    }
 };
 
 /** Outcome of one tile in one frame (classification + accounting). */
@@ -109,6 +162,16 @@ class GraphicsPipeline
     void setHooks(PipelineHooks *hooks_) { hooks = hooks_; }
 
     /**
+     * Intra-frame tile worker count (default 1 = serial). Purely an
+     * execution knob: output is bit-identical for every value, which
+     * is why it lives here and not in GpuConfig. Takes effect only
+     * for hooks that declare tileWorkersSafe() (baseline included);
+     * others keep the legacy serial loop.
+     */
+    void setTileJobs(unsigned jobs);
+    unsigned tileJobCount() const { return tileJobs; }
+
+    /**
      * Render one frame.
      * @param commands  the frame's drawcalls
      * @param groundTruth when true, skipped tiles are shadow-rendered
@@ -133,6 +196,7 @@ class GraphicsPipeline
     TileRenderer renderer;
     FrameBuffer fb;
     u64 frameCounter = 0;
+    unsigned tileJobs = 1;
 };
 
 } // namespace regpu

@@ -1,0 +1,128 @@
+#include "gpu/tile_pool.hh"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/thread_annotations.hh"
+#include "obs/obs.hh"
+
+namespace regpu
+{
+
+namespace
+{
+
+/** Shared pool state for one frame's tile batch: per-tile done flags
+ *  published by workers, consumed in order by the merging caller, and
+ *  first-exception capture (ParallelRunner's ErrorState discipline).
+ *  The condition variable pairs with the annotated mutex; it needs no
+ *  capability annotation of its own (waiting releases/reacquires the
+ *  mutex internally, invisible to — and safe under — the analysis). */
+struct BatchState
+{
+    Mutex mutex;
+    std::condition_variable_any ready;
+    std::vector<u8> done REGPU_GUARDED_BY(mutex);
+    std::exception_ptr firstError REGPU_GUARDED_BY(mutex);
+};
+
+} // namespace
+
+void
+runTilesOrdered(u32 numTiles, unsigned jobs,
+                const std::function<void(TileId)> &phase1,
+                const std::function<void(TileId)> &merge)
+{
+    if (jobs > numTiles)
+        jobs = numTiles;
+    if (jobs <= 1) {
+        // The serial pipeline, definitionally: phase 1 and its merge
+        // back-to-back per tile, ascending.
+        for (TileId tile = 0; tile < numTiles; tile++) {
+            phase1(tile);
+            merge(tile);
+        }
+        return;
+    }
+
+    BatchState state;
+    {
+        MutexLock lock(state.mutex);
+        state.done.assign(numTiles, 0);
+    }
+    // Tile-claim counter: the sanctioned lone-atomic pattern (same as
+    // ParallelRunner's job counter) — claim order is a race by design,
+    // and nothing downstream depends on it because the merge below is
+    // order-fixed.
+    std::atomic<u32> nextTile{0};
+
+    auto workerLoop = [&](unsigned workerIndex) {
+        ObsScope span("gpu", "tileWorker", "worker",
+                      static_cast<i64>(workerIndex), "tiles",
+                      static_cast<i64>(numTiles));
+        while (true) {
+            const TileId tile =
+                nextTile.fetch_add(1, std::memory_order_relaxed);
+            if (tile >= numTiles)
+                return;
+            bool failed = false;
+            try {
+                phase1(tile);
+            } catch (...) {
+                failed = true;
+                MutexLock lock(state.mutex);
+                if (!state.firstError)
+                    state.firstError = std::current_exception();
+            }
+            {
+                MutexLock lock(state.mutex);
+                // A failed tile still publishes "done" so the merging
+                // caller wakes up and sees the error instead of
+                // blocking on a result that will never come.
+                state.done[tile] = failed ? 2 : 1;
+            }
+            state.ready.notify_all();
+        }
+    };
+
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    for (unsigned w = 0; w < jobs; w++)
+        workers.emplace_back(workerLoop, w);
+
+    // Eager in-order merge: wait for tile t, fold it, move on. A merge
+    // callback that throws must still join the pool before the
+    // exception propagates, so the loop records rather than throws.
+    std::exception_ptr mergeError;
+    for (TileId tile = 0; tile < numTiles && !mergeError; tile++) {
+        bool tileFailed = false;
+        {
+            MutexLock lock(state.mutex);
+            while (state.done[tile] == 0 && !state.firstError)
+                state.ready.wait(state.mutex);
+            tileFailed = state.done[tile] != 1
+                || static_cast<bool>(state.firstError);
+        }
+        if (tileFailed)
+            break;
+        try {
+            merge(tile);
+        } catch (...) {
+            mergeError = std::current_exception();
+        }
+    }
+
+    for (auto &worker : workers)
+        worker.join();
+
+    if (mergeError)
+        std::rethrow_exception(mergeError);
+    MutexLock lock(state.mutex);
+    if (state.firstError)
+        std::rethrow_exception(state.firstError);
+}
+
+} // namespace regpu

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Intra-frame tile worker pool: runs per-tile phase-1 work (raster +
+ * shade + signature, side-effect-free against shared state) on worker
+ * threads, while the calling thread folds results back in strict
+ * ascending tile order — the same bit-identical-for-any-job-count
+ * merge discipline ParallelRunner established for sweep cells, one
+ * level down (docs/ARCHITECTURE.md spells out the model).
+ *
+ * The split the pipeline feeds this with:
+ *
+ *  - phase1(tile): touches only that tile's private TileTask slot plus
+ *    state that is read-only during the raster phase (binned frame,
+ *    draws, textures, signature buffers) or per-tile-disjoint (the
+ *    Frame Buffer's tile regions). Any claim order is sound.
+ *  - merge(tile): everything order-sensitive — MemSystem replay,
+ *    StatRegistry folds, signature-buffer writes, Frame Buffer tile
+ *    flushes — executed by the caller, eagerly, for tile 0..N-1 as
+ *    each phase-1 result becomes ready.
+ *
+ * With jobs <= 1 no threads are spawned and the pair is executed
+ * inline per tile, which is *definitionally* the serial pipeline; the
+ * parallel schedule is equivalent because phase-1 writes are disjoint
+ * and merge order is fixed.
+ */
+
+#ifndef REGPU_GPU_TILE_POOL_HH
+#define REGPU_GPU_TILE_POOL_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "gpu/memiface.hh"
+
+namespace regpu
+{
+
+/**
+ * MemTraceSink that records every access instead of forwarding it, so
+ * a worker can render a tile without touching the shared (cache-state-
+ * order-sensitive) MemSystem; the merge phase then replays the events
+ * into the real sink in exact renderTile emission order. Reused across
+ * tiles via clear() (capacity is retained).
+ */
+class MemEventRecorder : public MemTraceSink
+{
+  public:
+    void vertexFetch(Addr addr, u32 bytes) override
+    {
+        events.push_back({Kind::VertexFetch, addr, bytes});
+    }
+    void parameterWrite(Addr addr, u32 bytes) override
+    {
+        events.push_back({Kind::ParameterWrite, addr, bytes});
+    }
+    void parameterRead(Addr addr, u32 bytes) override
+    {
+        events.push_back({Kind::ParameterRead, addr, bytes});
+    }
+    void texelFetch(u32 textureCacheIndex, Addr addr) override
+    {
+        events.push_back({Kind::TexelFetch, addr, textureCacheIndex});
+    }
+    void colorFlush(Addr addr, u32 bytes) override
+    {
+        events.push_back({Kind::ColorFlush, addr, bytes});
+    }
+    void colorRead(Addr addr, u32 bytes) override
+    {
+        events.push_back({Kind::ColorRead, addr, bytes});
+    }
+
+    /** Forward every recorded access to @p sink, in recorded order. */
+    void
+    replay(MemTraceSink &sink) const
+    {
+        for (const Event &e : events) {
+            switch (e.kind) {
+              case Kind::VertexFetch:
+                sink.vertexFetch(e.addr, e.arg);
+                break;
+              case Kind::ParameterWrite:
+                sink.parameterWrite(e.addr, e.arg);
+                break;
+              case Kind::ParameterRead:
+                sink.parameterRead(e.addr, e.arg);
+                break;
+              case Kind::TexelFetch:
+                sink.texelFetch(e.arg, e.addr);
+                break;
+              case Kind::ColorFlush:
+                sink.colorFlush(e.addr, e.arg);
+                break;
+              case Kind::ColorRead:
+                sink.colorRead(e.addr, e.arg);
+                break;
+            }
+        }
+    }
+
+    void clear() { events.clear(); }
+    std::size_t size() const { return events.size(); }
+
+  private:
+    enum class Kind : u8
+    {
+        VertexFetch,
+        ParameterWrite,
+        ParameterRead,
+        TexelFetch,
+        ColorFlush,
+        ColorRead,
+    };
+    struct Event
+    {
+        Kind kind;
+        Addr addr;
+        u32 arg; //!< bytes, or the texture-cache index for TexelFetch
+    };
+    std::vector<Event> events;
+};
+
+/**
+ * Execute @p phase1 for every tile in [0, numTiles) on up to @p jobs
+ * worker threads (any completion order), and @p merge on the calling
+ * thread in strict ascending tile order; merge(t) runs only after
+ * phase1(t) returned, eagerly as results arrive (the caller never
+ * waits for the whole frame before folding).
+ *
+ * jobs <= 1 executes both inline per tile with no thread spawned.
+ * Worker exceptions are captured first-wins and rethrown on the
+ * calling thread after all workers joined. Each worker's frame
+ * participation is wrapped in an ungated "gpu/tileWorker" ObsScope so
+ * Perfetto timelines show pool occupancy.
+ */
+void runTilesOrdered(u32 numTiles, unsigned jobs,
+                     const std::function<void(TileId)> &phase1,
+                     const std::function<void(TileId)> &merge);
+
+} // namespace regpu
+
+#endif // REGPU_GPU_TILE_POOL_HH

@@ -133,6 +133,27 @@ class RenderingElimination : public PipelineHooks
         stats.inc("re.primitiveBlocksSigned");
     }
 
+    /**
+     * Tile-pool opt-in: during the raster phase RE's state is
+     * read-only (signatures were accumulated at geometry time), the
+     * query below is pure, and RE attaches no memo client.
+     */
+    bool tileWorkersSafe() const override { return true; }
+
+    /** Phase-1 prediction: compare()'s answer without its counted
+     *  SRAM reads or stats - those stay with shouldRenderTile in the
+     *  serial merge phase, so stats match the serial pipeline
+     *  bit-for-bit under any --tile-jobs. */
+    bool
+    queryRenderTile(TileId tile) override
+    {
+        if (!enabled)
+            return true;
+        bool matched = false;
+        const bool comparable = buffer.peekCompare(tile, matched);
+        return !(comparable && matched);
+    }
+
     bool
     shouldRenderTile(TileId tile) override
     {

@@ -16,7 +16,7 @@ namespace
 
 constexpr const char *scaleUsage =
     R"(valid flags: --fast | --full | --frames N | --jobs N)"
-    R"( | --record-dir DIR | --replay-dir DIR)";
+    R"( | --tile-jobs N | --record-dir DIR | --replay-dir DIR)";
 
 } // namespace
 
@@ -42,6 +42,8 @@ ExperimentScale::fromArgs(int argc, char **argv)
             s.frames = parseCountArg("--frames", value(i));
         } else if (std::strcmp(argv[i], "--jobs") == 0) {
             s.jobs = parseJobsArg(value(i));
+        } else if (std::strcmp(argv[i], "--tile-jobs") == 0) {
+            s.tileJobs = parseTileJobsArg(value(i));
         } else if (std::strcmp(argv[i], "--record-dir") == 0) {
             s.recordDir = value(i);
         } else if (std::strcmp(argv[i], "--replay-dir") == 0) {
@@ -71,6 +73,8 @@ runSuite(const std::vector<std::string> &aliases,
         buildSweepJobs(aliases, techniques, scale.screenWidth,
                        scale.screenHeight, scale.frames, hashKind);
     applyTraceFlags(jobs, scale.recordDir, scale.replayDir);
+    for (SimJob &job : jobs)
+        job.options.tileJobs = scale.tileJobs;
 
     ParallelRunner runner(scale.jobs);
     std::vector<SimResult> results = runner.run(jobs);

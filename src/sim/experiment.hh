@@ -26,6 +26,8 @@ struct ExperimentScale
     u32 screenHeight = 768;
     u64 frames = 30;
     unsigned jobs = 1;  //!< worker threads for the sweep (0 = all cores)
+    unsigned tileJobs = 1;  //!< intra-frame tile workers per run
+                            //!< (results identical for any value)
 
     /** When set, runSuite records one trace per workload here before
      *  simulating (file name `<alias>.rgputrace`). */
@@ -37,9 +39,10 @@ struct ExperimentScale
     /**
      * Parse from argv: "--fast" shrinks, "--full" uses Table I with
      * 50 frames (Fig. 2 setting), "--frames N", "--jobs N" (results
-     * are identical for any N), "--record-dir D" / "--replay-dir D"
-     * capture or replay frame traces. Default is Table I resolution
-     * with a 30-frame single-threaded run.
+     * are identical for any N), "--tile-jobs N" (intra-frame tile
+     * workers, results identical for any N), "--record-dir D" /
+     * "--replay-dir D" capture or replay frame traces. Default is
+     * Table I resolution with a 30-frame single-threaded run.
      *
      * Parsing is strict: an unknown flag, a flag missing its value,
      * or a malformed number fatal()s with a usage message — a typo

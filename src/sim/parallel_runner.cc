@@ -89,6 +89,15 @@ parseJobsArg(const char *text)
     return static_cast<unsigned>(v);
 }
 
+unsigned
+parseTileJobsArg(const char *text)
+{
+    const u64 v = parseCountArg("--tile-jobs", text);
+    if (v == 0 || v > std::numeric_limits<unsigned>::max())
+        fatal("--tile-jobs expects a worker count >= 1, got: ", text);
+    return static_cast<unsigned>(v);
+}
+
 Technique
 parseTechniqueArg(const std::string &name)
 {

@@ -65,6 +65,12 @@ u64 parseCountArg(const char *flag, const char *text);
 /** parseCountArg specialised for --jobs (must also fit unsigned). */
 unsigned parseJobsArg(const char *text);
 
+/** parseCountArg specialised for --tile-jobs: a positive intra-frame
+ *  worker count. 0 is rejected — unlike --jobs there is no "all
+ *  cores" convention here, and a silently-accepted 0 would read as
+ *  "disable the pool" to some users and "auto" to others. */
+unsigned parseTileJobsArg(const char *text);
+
 /** Parse a technique name ("base"/"baseline", "re", "te", "memo");
  *  fatal() on anything else. Shared by the CLI frontends. */
 Technique parseTechniqueArg(const std::string &name);

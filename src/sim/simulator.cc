@@ -14,6 +14,8 @@ Simulator::Simulator(const FrameSource &scene_, const GpuConfig &config_,
     mem = std::make_unique<MemSystem>(config);
     pipe = std::make_unique<GraphicsPipeline>(config, statsReg, mem.get(),
                                               scene.textures());
+    if (options.tileJobs > 1)
+        pipe->setTileJobs(options.tileJobs);
     switch (config.technique) {
       case Technique::Baseline:
         break;

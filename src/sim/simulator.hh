@@ -90,6 +90,12 @@ struct SimOptions
     bool groundTruth = true;
     HashKind hashKind = HashKind::Crc32;
 
+    /** Intra-frame tile worker count (--tile-jobs). Execution knob
+     *  only: results are bit-identical for every value (the tile
+     *  pool's phase-1/merge split, docs/ARCHITECTURE.md), so unlike
+     *  everything in GpuConfig it does not identify an experiment. */
+    unsigned tileJobs = 1;
+
     /** When non-empty, write per-run observability artifacts (frame
      *  time-series JSONL + tile heatmaps, obs/run_artifacts.hh) into
      *  this directory. Artifacts only *read* simulator state: results

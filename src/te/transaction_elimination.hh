@@ -48,25 +48,46 @@ class TransactionElimination : public PipelineHooks
         lutAccessesThisFrame = 0;
     }
 
-    bool
-    shouldFlushTile(TileId tile, const std::vector<Color> &colors) override
+    /**
+     * Tile-pool opt-in: the color hash (the expensive part) is pure,
+     * so it runs on the worker that rendered the tile; the counted
+     * Signature Buffer traffic and energy charges stay in the serial
+     * merge phase below. No memo client, no raster-phase mutation
+     * outside shouldFlushTilePre.
+     */
+    bool tileWorkersSafe() const override { return true; }
+
+    /** Phase-1 (worker-side, thread-safe): hash the tile's colors.
+     *  CRC32 streamed straight over the Color Buffer's storage (no
+     *  per-tile heap message, no staging copy). Color is four u8s
+     *  {r,g,b,a}, identical to the packed little-endian RGBA byte
+     *  order the signature is defined over. */
+    u32
+    prepareFlushTile(TileId tile, const std::vector<Color> &colors) override
     {
-        // Per-tile detail: one signature-check span per rendered tile.
+        // Per-tile detail: one signature-hash span per rendered tile.
         std::optional<ObsScope> span;
         if (obsTileDetail())
             span.emplace("te", "signature", "tile",
                          static_cast<i64>(tile));
-        // Hash the tile's colors: CRC32 streamed straight over the
-        // Color Buffer's storage (no per-tile heap message, no staging
-        // copy). Color is four u8s {r,g,b,a}, identical to the packed
-        // little-endian RGBA byte order the signature is defined over.
         static_assert(sizeof(Color) == 4);
         Crc32Stream stream;
         stream.update({reinterpret_cast<const u8 *>(colors.data()),
                        colors.size() * 4});
-        const u32 sig = stream.value();
-        // Compute CRC unit energy: 12 LUT reads per 64-bit sub-block.
-        lutAccessesThisFrame += 12ull * ((stream.lengthBytes() + 7) / 8);
+        return stream.value();
+    }
+
+    /** Merge phase (serial, in tile order): charge the Compute CRC
+     *  unit for the hash the worker did, then the counted compare +
+     *  single signature write - identical accounting, in identical
+     *  order, to the serial pipeline. */
+    bool
+    shouldFlushTilePre(TileId tile, const std::vector<Color> &colors,
+                       u32 sig) override
+    {
+        // Compute CRC unit energy: 12 LUT reads per 64-bit sub-block
+        // (message length is exactly the tile's color bytes).
+        lutAccessesThisFrame += 12ull * ((colors.size() * 4 + 7) / 8);
 
         // Compare against the recorded signature, then store exactly
         // one signature write for this tile.
@@ -80,6 +101,16 @@ class TransactionElimination : public PipelineHooks
             return false;
         }
         return true;
+    }
+
+    bool
+    shouldFlushTile(TileId tile, const std::vector<Color> &colors) override
+    {
+        // Legacy single-call form: hash + decide in one step (direct
+        // callers and tests; the pipeline's split path calls the two
+        // halves separately).
+        return shouldFlushTilePre(tile, colors,
+                                  prepareFlushTile(tile, colors));
     }
 
     void

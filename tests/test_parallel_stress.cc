@@ -249,6 +249,93 @@ TEST(ParallelStress, ObsSinkEnabledWhileRunnersHammerSharedTraceCache)
     std::remove(path.c_str());
 }
 
+TEST(TilePoolStress, BitIdenticalAcrossTileJobCounts)
+{
+    // The tentpole contract: rasterizing a frame's tiles on any
+    // number of intra-frame workers produces the same bits as the
+    // serial pipeline — per workload, per technique, with the obs
+    // sink enabled (span recording must not perturb results either).
+    ObsSink::instance().enable(/*eventsPerThread=*/1u << 12);
+    const Technique techs[] = {Technique::Baseline,
+                               Technique::RenderingElimination,
+                               Technique::TransactionElimination};
+    for (Technique tech : techs) {
+        SCOPED_TRACE(techniqueName(tech));
+        std::vector<SimResult> byJobs;
+        for (unsigned tileJobs : {1u, 4u, 8u}) {
+            SimJob job = tinyJob("ccs", tech, 11, /*frames=*/3);
+            job.options.tileJobs = tileJobs;
+            byJobs.push_back(
+                std::move(ParallelRunner(1).run({job}).front()));
+        }
+        expectIdentical(byJobs[0], byJobs[1]);
+        expectIdentical(byJobs[0], byJobs[2]);
+    }
+    ObsSink::instance().disable();
+}
+
+TEST(TilePoolStress, OuterSweepWorkersTimesInnerTileWorkers)
+{
+    // Both pools at once: the sweep-level ParallelRunner schedules
+    // cells on 4 workers while every cell rasterizes its tiles on 4
+    // more. Under TSan this is the densest thread population in the
+    // repo — 16+ simultaneous tile workers sharing nothing but the
+    // obs sink — and the results must still match the fully serial
+    // run slot for slot.
+    std::vector<SimJob> jobs = smallJobFlood(12);
+    const std::vector<SimResult> seq = ParallelRunner(1).run(jobs);
+
+    for (SimJob &job : jobs)
+        job.options.tileJobs = 4;
+    ObsSink::instance().enable(/*eventsPerThread=*/1u << 12);
+    const std::vector<SimResult> par = ParallelRunner(4).run(jobs);
+    ObsSink::instance().disable();
+
+    ASSERT_EQ(par.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); i++) {
+        SCOPED_TRACE("job " + std::to_string(i));
+        expectIdentical(seq[i], par[i]);
+    }
+    expectIdentical(mergeResults(seq), mergeResults(par));
+}
+
+TEST(TilePoolStress, TileWorkerSpansReachTheTimeline)
+{
+    // Perfetto occupancy promise: with tracing on, every pool worker
+    // emits a gpu.tileWorker span carrying its worker index, so the
+    // timeline shows per-worker occupancy lanes rather than one
+    // anonymous blob.
+    ObsSink::instance().enable(/*eventsPerThread=*/1u << 12);
+    SimJob job = tinyJob("ccs", Technique::RenderingElimination, 5,
+                         /*frames=*/2);
+    job.options.tileJobs = 4;
+    (void)ParallelRunner(1).run({job});
+    ObsSink::instance().disable();
+
+    std::ostringstream trace;
+    ObsSink::instance().writeTraceJson(trace);
+    EXPECT_NE(trace.str().find("\"tileWorker\""), std::string::npos);
+}
+
+TEST(TilePoolStress, TileJobsArgParsingIsStrict)
+{
+    // parseJobsArg-style strictness for --tile-jobs: a typo'd or
+    // nonsensical worker count must die with a usage message, not
+    // silently render serially (0) or truncate (garbage).
+    EXPECT_EQ(parseTileJobsArg("1"), 1u);
+    EXPECT_EQ(parseTileJobsArg("8"), 8u);
+    EXPECT_EXIT((void)parseTileJobsArg("0"),
+                ::testing::ExitedWithCode(1), "--tile-jobs");
+    EXPECT_EXIT((void)parseTileJobsArg("garbage"),
+                ::testing::ExitedWithCode(1), "--tile-jobs");
+    EXPECT_EXIT((void)parseTileJobsArg("-4"),
+                ::testing::ExitedWithCode(1), "--tile-jobs");
+    EXPECT_EXIT((void)parseTileJobsArg(""),
+                ::testing::ExitedWithCode(1), "--tile-jobs");
+    EXPECT_EXIT((void)parseTileJobsArg("99999999999999999999"),
+                ::testing::ExitedWithCode(1), "--tile-jobs");
+}
+
 TEST(ParallelStress, MergeUnderContentionMatchesSequentialFold)
 {
     // Merging while other pools are mid-flight must not perturb the
